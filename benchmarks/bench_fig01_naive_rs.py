@@ -1,0 +1,24 @@
+"""Fig. 1 — a naive realization of requester-speculates brings no benefit.
+
+Regenerates the motivation figure: naive R-S (unrestricted forwarding,
+escape counter instead of cycle avoidance) normalized to the best-effort
+baseline.  The paper's point — and the assertion here — is that the mean
+is not better than the baseline: blind forwarding fails because cyclic
+dependencies are not managed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig1
+
+
+def test_fig1_naive_requester_speculates(run_once):
+    result = run_once(fig1)
+    print()
+    print(result.rendering)
+    mean = result.mean("Naive R-S")
+    # The headline claim: no average benefit from blind forwarding.
+    assert mean > 0.95, f"naive R-S unexpectedly beats baseline ({mean:.3f})"
+    # And it is actively harmful somewhere (the motivation for CHATS).
+    worst = max(result.series["Naive R-S"].values())
+    assert worst > 1.1, "naive R-S should degrade at least one workload"

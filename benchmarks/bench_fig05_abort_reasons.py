@@ -1,0 +1,33 @@
+"""Fig. 5 — aborted transactions split by the cause of the abort.
+
+CHATS turns many requester-wins conflict aborts into successful forwards;
+the aborts that remain gain two new categories (validation mismatches and
+PiC cycle detections).  The paper reports a ~34% abort reduction for CHATS
+and ~49% for PCHATS vs their respective baselines.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5_abort_breakdown(run_once):
+    result = run_once(fig5)
+    print()
+    print(result.rendering)
+
+    chats = result.series["CHATS"]
+    # Forwarding-friendly workloads shed aborts.
+    for w in ("kmeans-l", "llb-l", "genome"):
+        assert chats[w] < 0.8, f"CHATS should cut aborts on {w}"
+    # Validation/cycle aborts exist only in forwarding systems.
+    stacks = result.extra["stacks"]
+    assert all(
+        "validation" not in segs and "cycle" not in segs
+        for segs in stacks["Baseline"].values()
+    )
+    chats_has_validation = any(
+        segs.get("validation") or segs.get("cycle")
+        for segs in stacks["CHATS"].values()
+    )
+    assert chats_has_validation, "CHATS must exhibit validation/cycle aborts"

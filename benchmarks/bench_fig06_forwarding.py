@@ -1,0 +1,30 @@
+"""Fig. 6 — transactions that conflicted and forwarded data, split by how
+the transaction finished.
+
+The key observation (Section VII): under CHATS, *forwarder* transactions
+— the producers that would have been requester-wins victims — mostly
+survive to commit.  That survival is where the abort reduction comes from.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig6
+
+
+def test_fig6_forwarding_outcomes(run_once):
+    result = run_once(fig6)
+    print()
+    print(result.rendering)
+
+    survival = result.series["CHATS"]
+    # Producers survive on the forwarding-friendly workloads.
+    for w in ("kmeans-l", "llb-l", "genome", "cadd"):
+        assert survival[w] > 0.5, (
+            f"most CHATS forwarders should commit on {w}, got {survival[w]:.2f}"
+        )
+    stacks = result.extra["stacks"]["CHATS"]
+    total_forwarders = sum(
+        segs["forwarder-committed"] + segs["forwarder-aborted"]
+        for segs in stacks.values()
+    )
+    assert total_forwarders > 0, "CHATS must actually forward"

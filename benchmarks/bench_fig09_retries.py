@@ -1,0 +1,29 @@
+"""Fig. 9 — sensitivity to the retry threshold before the fallback path.
+
+Sweeps the number of conflict-induced aborts tolerated before a
+transaction serializes (global lock) or requests the power token.  The
+paper's finding: the plain best-effort baseline prefers a moderate
+threshold (~6), CHATS benefits from large thresholds (32: more chances to
+re-execute and forward), Power prefers ~2 and PCHATS only 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9_retry_threshold(run_once):
+    result = run_once(fig9)
+    print()
+    print(result.rendering)
+
+    best = result.extra["best_retries"]
+    # CHATS prefers a larger threshold than the plain baseline: forwarding
+    # turns retries into progress instead of churn.
+    assert best["CHATS"] >= best["Baseline"], (
+        f"CHATS sweet spot ({best['CHATS']}) should not be below the "
+        f"baseline's ({best['Baseline']})"
+    )
+    # Power-based systems elevate quickly (small thresholds).
+    assert best["PCHATS"] <= 2
+    assert best["Power"] <= 6

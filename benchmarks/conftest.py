@@ -1,0 +1,30 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+Every bench wraps one figure of the paper.  ``pedantic(rounds=1)`` is used
+throughout: a figure is a deterministic batch of simulations, so repeated
+timing rounds would only measure the runner cache.
+
+Scale/threads/seed come from the ``REPRO_SCALE`` / ``REPRO_THREADS`` /
+``REPRO_SEED`` environment variables (see ``repro.experiments.runner``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    terminalreporter.write_line(
+        "repro benches regenerate every table/figure of the CHATS paper; "
+        "see EXPERIMENTS.md for the paper-vs-measured comparison."
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Abort forensics: where does a benchmark's time actually go?
+
+Combines three introspection tools this library ships with:
+
+* per-transaction-site statistics (``Txn.label``): which transaction in
+  the program commits/aborts how often under each system;
+* the :class:`~repro.sim.tracing.Tracer`: a structured event log of
+  forwards, commits, and aborts;
+* the invariant checker, scheduled mid-run as a sanity harness.
+
+The subject is *intruder*, the paper's problem child: its FIFO ``capture``
+transaction reads the queue head early and writes it late, a pattern that
+punishes every policy differently (Section VII).
+
+Usage::
+
+    python examples/abort_forensics.py [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro import SystemKind, Tracer, check_invariants, table2_config
+from repro.sim.simulator import Simulator
+from repro.workloads.base import make_workload
+
+
+def run_with_forensics(system: SystemKind, scale: float):
+    wl = make_workload("intruder", threads=16, seed=1, scale=scale)
+    sim = Simulator(wl, htm=table2_config(system))
+
+    def periodic_check():
+        check_invariants(sim)
+        if not all(c.done for c in sim.cores[: wl.num_threads]):
+            sim.engine.schedule(2000, periodic_check)
+
+    sim.engine.schedule(500, periodic_check)
+
+    with Tracer(sim, kinds={"abort", "forward"}) as trace:
+        result = sim.run()
+    return result, sim, trace
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+
+    for system in (SystemKind.BASELINE, SystemKind.CHATS, SystemKind.PCHATS):
+        result, sim, trace = run_with_forensics(system, scale)
+        print(f"=== intruder under {system.value} ===")
+        print(f"execution time: {result.cycles:,} cycles; "
+              f"commits {result.total_commits}, aborts {result.total_aborts}")
+
+        print("per-site outcomes:")
+        for label, counts in sim.stats.label_summary().items():
+            total = counts["commits"] + counts["aborts"]
+            rate = counts["aborts"] / total if total else 0.0
+            print(
+                f"  {label:<12s} commits={counts['commits']:<5d} "
+                f"aborts={counts['aborts']:<5d} abort-rate={rate:.0%}"
+            )
+
+        abort_reasons = Counter(
+            event.detail.split("reason=")[-1]
+            for event in trace.of_kind("abort")
+        )
+        if abort_reasons:
+            print(f"abort reasons (traced): {dict(abort_reasons)}")
+        forwards = trace.of_kind("forward")
+        if forwards:
+            hot = Counter(e.block for e in forwards).most_common(3)
+            print(
+                "hottest forwarded blocks: "
+                + ", ".join(f"{b:#x} x{n}" for b, n in hot)
+            )
+        print()
+
+    print(
+        "capture is the choke point in every system; CHATS chains pops\n"
+        "through forwarded head pointers, while the baseline resolves the\n"
+        "same conflicts with aborts and backoff.  PCHATS adds the power\n"
+        "token for whoever still starves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package (offline installs):
+``pip install -e . --no-build-isolation`` falls back to this legacy path.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — run one workload under one (or all) HTM systems and print the
+  result summary::
+
+      python -m repro run kmeans-h --system chats --scale 0.4
+      python -m repro run yada --all-systems
+
+* ``figure`` — regenerate one of the paper's figures as a text table::
+
+      python -m repro figure fig4
+      python -m repro figure fig9 --scale 0.25
+
+* ``list`` — list registered workloads, systems, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import SystemKind, all_system_kinds, run_workload, workload_names
+from .experiments.registry import EXPERIMENTS
+from .experiments.figures import FIGURES, run_figure
+
+
+def _system_from_name(name: str) -> SystemKind:
+    for kind in SystemKind:
+        if kind.value == name:
+            return kind
+    raise SystemExit(
+        f"unknown system {name!r}; choose from "
+        f"{[k.value for k in SystemKind]}"
+    )
+
+
+def _print_result(result) -> None:
+    s = result.summary()
+    print(f"workload         : {s['workload']}")
+    print(f"system           : {s['system']}")
+    print(f"execution time   : {s['cycles']:,} cycles")
+    print(
+        f"commits          : {s['commits']} "
+        f"({s['hw_commits']} HTM, {s['fallback_commits']} fallback)"
+    )
+    print(f"aborts           : {s['aborts']}")
+    causes = {k: v for k, v in s["abort_breakdown"].items() if v}
+    print(f"abort causes     : {causes or '—'}")
+    print(f"spec forwards    : {s['spec_forwards']}")
+    print(f"network flits    : {s['flits']:,}")
+    print(f"lock acquisitions: {s['lock_acquisitions']}")
+    print(f"power grants     : {s['power_grants']}")
+    labels = result.stats.label_summary()
+    if any(label for label in labels):
+        print("per-site         :")
+        for label, counts in labels.items():
+            print(
+                f"  {label or '(unlabelled)':<16s} "
+                f"commits={counts['commits']:<6d} aborts={counts['aborts']}"
+            )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    systems = (
+        list(all_system_kinds())
+        if args.all_systems
+        else [_system_from_name(args.system)]
+    )
+    baseline_cycles = None
+    for system in systems:
+        result = run_workload(
+            args.workload,
+            system,
+            threads=args.threads,
+            seed=args.seed,
+            scale=args.scale,
+        )
+        if len(systems) > 1:
+            if baseline_cycles is None:
+                baseline_cycles = result.cycles
+            print(
+                f"{system.value:<18s} cycles={result.cycles:>9,d} "
+                f"norm={result.cycles / baseline_cycles:5.3f} "
+                f"aborts={result.total_aborts:>6d} "
+                f"forwards={result.stats.spec_forwards:>7d}"
+            )
+        else:
+            _print_result(result)
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    result = run_figure(args.figure)
+    print(result.rendering)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    for fid in sorted(FIGURES):
+        result = run_figure(fid)
+        print()
+        print("#" * 72)
+        print()
+        print(result.rendering)
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("systems:")
+    for kind in SystemKind:
+        print(f"  {kind.value}")
+    print("experiments:")
+    for exp_id, exp in sorted(EXPERIMENTS.items()):
+        print(f"  {exp_id:<8s} {exp.title}  [{exp.bench}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CHATS (MICRO 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload")
+    p_run.add_argument("workload", choices=workload_names())
+    p_run.add_argument(
+        "--system",
+        default="chats",
+        help="HTM system (default: chats)",
+    )
+    p_run.add_argument(
+        "--all-systems",
+        action="store_true",
+        help="run the workload under all six systems",
+    )
+    p_run.add_argument("--threads", type=int, default=16)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--scale", type=float, default=0.4)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("figure", choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", type=float, default=None)
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_list = sub.add_parser("list", help="list workloads/systems/experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate the entire evaluation (all figures)"
+    )
+    p_rep.add_argument("--scale", type=float, default=None)
+    p_rep.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

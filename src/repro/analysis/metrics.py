@@ -1,0 +1,100 @@
+"""Metric helpers shared by the figure harness and benches.
+
+The paper normalises everything to the requester-wins baseline and reports
+arithmetic and geometric means over the *STAMP* benchmarks only — the two
+microbenchmarks (llb, cadd) are shown but excluded from the means "to
+avoid overstating the benefits that could be seen in practice"
+(Section VI-C).  The same convention is applied here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..sim.results import SimulationResult
+
+#: The paper's STAMP selection (bayes excluded, Section VI-C).
+STAMP_WORKLOADS = (
+    "genome",
+    "intruder",
+    "kmeans-h",
+    "kmeans-l",
+    "labyrinth",
+    "ssca2",
+    "vacation",
+    "yada",
+)
+
+#: Synthetic microbenchmarks — plotted, excluded from the means.
+MICRO_WORKLOADS = ("llb-l", "llb-h", "cadd")
+
+#: Fig. 4 presentation order.
+EVALUATION_ORDER = STAMP_WORKLOADS + MICRO_WORKLOADS
+
+
+def is_micro(workload: str) -> bool:
+    return workload in MICRO_WORKLOADS
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_times(
+    results: Mapping[str, SimulationResult],
+    baselines: Mapping[str, SimulationResult],
+) -> Dict[str, float]:
+    """Per-workload execution time normalised to the baseline run."""
+    out: Dict[str, float] = {}
+    for workload, result in results.items():
+        out[workload] = result.normalized_time(baselines[workload])
+    return out
+
+
+def mean_normalized_time(
+    normalized: Mapping[str, float], *, geometric: bool = False
+) -> float:
+    """Mean over STAMP workloads only (micros excluded, paper convention)."""
+    values = [v for w, v in normalized.items() if not is_micro(w)]
+    return geometric_mean(values) if geometric else arithmetic_mean(values)
+
+
+def normalized_aborts(
+    results: Mapping[str, SimulationResult],
+    baselines: Mapping[str, SimulationResult],
+) -> Dict[str, float]:
+    """Aborted transactions relative to baseline (Fig. 5 normalisation)."""
+    out: Dict[str, float] = {}
+    for workload, result in results.items():
+        base = max(1, baselines[workload].total_aborts)
+        out[workload] = result.total_aborts / base
+    return out
+
+
+def normalized_flits(
+    results: Mapping[str, SimulationResult],
+    baselines: Mapping[str, SimulationResult],
+) -> Dict[str, float]:
+    """Interconnect flits relative to baseline (Fig. 7 normalisation)."""
+    out: Dict[str, float] = {}
+    for workload, result in results.items():
+        base = max(1, baselines[workload].flits)
+        out[workload] = result.flits / base
+    return out
+
+
+def order_workloads(names: Iterable[str]) -> List[str]:
+    """Sort workload names into the paper's presentation order."""
+    known = {name: i for i, name in enumerate(EVALUATION_ORDER)}
+    return sorted(names, key=lambda n: (known.get(n, len(known)), n))

@@ -1,0 +1,97 @@
+"""Plain-text renderers for the paper's figures.
+
+The benches print each figure as an aligned text table (rows = workloads,
+columns = systems/parameters) plus the same summary statistics the paper
+quotes in prose, so a run of the benchmark suite regenerates the entire
+evaluation section in textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Mapping[str, Mapping[str, float]],
+    *,
+    fmt: str = "{:.3f}",
+    footer: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render ``columns[series][row] -> value`` as an aligned table."""
+    series = list(columns)
+    label_w = max([len(r) for r in row_labels] + [9])
+    col_w = max([len(s) for s in series] + [8]) + 2
+    lines = [title, "=" * len(title)]
+    header = " " * label_w + "".join(s.rjust(col_w) for s in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_labels:
+        cells = []
+        for s in series:
+            value = columns[s].get(row)
+            cells.append(("-" if value is None else fmt.format(value)).rjust(col_w))
+        lines.append(row.ljust(label_w) + "".join(cells))
+    if footer:
+        lines.append("-" * len(header))
+        for key, text in footer.items():
+            lines.append(f"{key}: {text}")
+    return "\n".join(lines)
+
+
+def format_stacked(
+    title: str,
+    row_labels: Sequence[str],
+    stacks: Mapping[str, Mapping[str, Mapping[str, float]]],
+    *,
+    fmt: str = "{:.0f}",
+) -> str:
+    """Render stacked-bar data: ``stacks[series][row][segment] -> value``.
+
+    Used for Fig. 5 (aborts split by reason) and Fig. 6 (conflicting /
+    forwarding transactions split by outcome).
+    """
+    lines = [title, "=" * len(title)]
+    for series, rows in stacks.items():
+        lines.append(f"[{series}]")
+        for row in row_labels:
+            segments = rows.get(row, {})
+            total = sum(segments.values())
+            parts = ", ".join(
+                f"{seg}={fmt.format(val)}" for seg, val in segments.items() if val
+            )
+            lines.append(f"  {row:<12s} total={fmt.format(total):>8s}  {parts}")
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Mapping[tuple, float],
+    *,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render Fig. 10-style (rows × cols → value) grids."""
+    label_w = max(len(str(r)) for r in row_labels) + 2
+    col_w = max(len(str(c)) for c in col_labels) + 4
+    lines = [title, "=" * len(title)]
+    lines.append(" " * label_w + "".join(str(c).rjust(col_w) for c in col_labels))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            v = values.get((r, c))
+            cells.append(("-" if v is None else fmt.format(v)).rjust(col_w))
+        lines.append(str(r).ljust(label_w) + "".join(cells))
+    return "\n".join(lines)
+
+
+def summarize_series(normalized: Mapping[str, float]) -> Dict[str, float]:
+    """Min / max / mean summary of a normalized series."""
+    values = list(normalized.values())
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }

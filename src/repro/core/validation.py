@@ -1,0 +1,130 @@
+"""Validation controller (Section IV-B).
+
+One per core.  While the VSB holds speculatively received blocks, a timer
+fires every ``validation_interval`` cycles, walks the VSB round-robin, and
+re-issues an exclusive coherence request for the selected block.  The
+response is judged here:
+
+* value mismatch → abort (``VALIDATION``) — this is also how producer
+  aborts cascade to consumers, with no dedicated signalling;
+* still-speculative response (``SpecResp``) with matching value → keep
+  waiting (the producer has not committed yet); the PiC carried by the
+  response is checked against the local PiC and ``local >= remote`` aborts
+  (``CYCLE`` — stale-PiC races, Section IV-C); the naive-R-S policy also
+  burns one unit of its escape budget here;
+* genuine exclusive data with matching value → the block is validated:
+  the VSB entry retires and the cache copy becomes the real owned version.
+
+When the VSB drains completely the Cons bit clears (the PiC itself stays
+valid until commit — the transaction may still be a producer) and a commit
+waiting on the drain is released.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..htm.stats import AbortReason
+from ..net.messages import Message, MessageKind
+from ..sim.engine import CancelToken
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Core
+
+
+class ValidationController:
+    """Drives periodic validation of one core's VSB."""
+
+    def __init__(self, core: "Core"):
+        self._core = core
+        self._timer: Optional[CancelToken] = None
+        self._inflight = False
+
+    # ------------------------------------------------------------------
+    def arm(self, tx) -> None:
+        """Ensure the timer is running (called on first SpecResp)."""
+        if self._timer is not None or self._inflight:
+            return
+        if tx is None or not tx.active or tx.vsb.empty:
+            return
+        interval = max(1, self._core.htm.validation_interval or 1)
+        self._timer = self._core.engine.schedule(interval, self._fire)
+
+    def cancel(self) -> None:
+        """Abort/commit of the attempt: stop the timer."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._inflight = False
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self._timer = None
+        tx = self._core.tx
+        if tx is None or not tx.active or tx.vsb.empty:
+            return
+        entry = tx.vsb.next_to_validate()
+        if entry is None:  # pragma: no cover - vsb.empty already checked
+            return
+        self._inflight = True
+        epoch = tx.epoch
+        self._core.stats.validations_attempted += 1
+        self._core.l1.issue_validation(
+            tx, entry.block, lambda msg: self._on_response(epoch, msg)
+        )
+
+    def _on_response(self, epoch: int, msg: Message) -> None:
+        self._inflight = False
+        core = self._core
+        tx = core.tx
+        if tx is None or not tx.active or tx.epoch != epoch:
+            return
+        copy = tx.vsb.lookup(msg.block)
+        if copy is None:
+            # Entry vanished (should not happen while active); keep going.
+            self._reschedule(tx)
+            return
+        if msg.kind is MessageKind.NACK:
+            self._reschedule(tx)
+            return
+        if msg.kind is MessageKind.SPEC_RESP:
+            if msg.data != copy:
+                core.stats.validation_mismatches += 1
+                core.abort_tx(AbortReason.VALIDATION)
+                return
+            if core.htm.validation_pic_check:
+                if tx.pic.validation_check(msg.pic):
+                    core.abort_tx(AbortReason.CYCLE)
+                    return
+            else:
+                # Ablation: with the PiC check disabled, undetected cycles
+                # can only be broken by bounding fruitless validations.
+                tx.naive_budget -= 1
+                if tx.naive_budget <= 0:
+                    core.abort_tx(AbortReason.CYCLE)
+                    return
+            reason = core.policy.on_unsuccessful_validation(tx)
+            if reason is not None:
+                core.abort_tx(reason)
+                return
+            self._reschedule(tx)
+            return
+        # Genuine data with ownership.
+        if msg.data != copy:
+            core.stats.validation_mismatches += 1
+            core.abort_tx(AbortReason.VALIDATION)
+            return
+        tx.vsb.retire(msg.block)
+        core.stats.validations_succeeded += 1
+        core.policy.on_successful_validation(tx)
+        if tx.vsb.empty:
+            tx.pic.clear_cons()
+            if tx.commit_pending:
+                core.finish_pending_commit()
+            return
+        self._reschedule(tx)
+
+    def _reschedule(self, tx) -> None:
+        if self._timer is None and tx.active and not tx.vsb.empty:
+            interval = max(1, self._core.htm.validation_interval or 1)
+            self._timer = self._core.engine.schedule(interval, self._fire)

@@ -1,0 +1,107 @@
+"""Validation State Buffer (VSB) — Section IV-B.
+
+The VSB keeps a pristine copy of every speculatively received block until
+the speculation has been validated.  Each entry holds a valid bit, the
+block address, and the 64-byte copy; the buffer has an *allocation* pointer
+(next free entry) and a *validation* pointer (next entry to validate),
+walked round-robin by the validation controller.
+
+The storage cost dominates CHATS' 280-byte overhead:
+4 entries x (64 B data + 42-bit tag + valid bit) ~ 278 B, plus the 5-bit
+PiC and 1-bit Cons registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+BlockValue = Tuple[int, ...]
+
+
+@dataclass
+class VSBEntry:
+    valid: bool = False
+    block: int = 0
+    data: Optional[BlockValue] = None
+
+
+class ValidationStateBuffer:
+    """Fixed-capacity buffer of pending speculative blocks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("VSB needs at least one entry")
+        self._entries: List[VSBEntry] = [VSBEntry() for _ in range(size)]
+        self._validate_ptr = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    def occupancy(self) -> int:
+        return sum(1 for e in self._entries if e.valid)
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy() == 0
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy() == len(self._entries)
+
+    def contains(self, block: int) -> bool:
+        return any(e.valid and e.block == block for e in self._entries)
+
+    def lookup(self, block: int) -> Optional[BlockValue]:
+        for entry in self._entries:
+            if entry.valid and entry.block == block:
+                return entry.data
+        return None
+
+    def insert(self, block: int, data: BlockValue) -> bool:
+        """Record a speculatively received block.  Returns False when the
+        buffer is full (the holder should then have refused to forward —
+        requests advertise ``can_consume`` — but races can still deliver an
+        unwanted SpecResp, which the consumer simply drops)."""
+        if self.contains(block):
+            return True  # duplicate delivery; first copy wins
+        for entry in self._entries:
+            if not entry.valid:
+                entry.valid = True
+                entry.block = block
+                entry.data = data
+                return True
+        return False
+
+    def next_to_validate(self) -> Optional[VSBEntry]:
+        """Round-robin selection of the next entry needing validation."""
+        n = len(self._entries)
+        for offset in range(n):
+            entry = self._entries[(self._validate_ptr + offset) % n]
+            if entry.valid:
+                self._validate_ptr = (
+                    self._entries.index(entry) + 1
+                ) % n
+                return entry
+        return None
+
+    def retire(self, block: int) -> None:
+        """Validation succeeded: drop the buffered copy (the cache copy is
+        now the authoritative, genuinely-owned version)."""
+        for entry in self._entries:
+            if entry.valid and entry.block == block:
+                entry.valid = False
+                entry.data = None
+                return
+        raise KeyError(f"block {block:#x} not in VSB")
+
+    def clear(self) -> None:
+        """Abort: discard all pending speculative copies immediately."""
+        for entry in self._entries:
+            entry.valid = False
+            entry.data = None
+        self._validate_ptr = 0
+
+    def blocks(self) -> List[int]:
+        return [e.block for e in self._entries if e.valid]

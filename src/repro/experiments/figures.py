@@ -1,0 +1,453 @@
+"""One entry point per figure of the paper's evaluation.
+
+Each ``figN()`` function runs (or fetches from the cache) the simulations
+the figure needs and returns a :class:`FigureResult`: the structured data
+series plus a rendered text table.  The benches under ``benchmarks/`` are
+thin wrappers that time these functions and print the rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..analysis import metrics
+from ..analysis.tables import format_heatmap, format_stacked, format_table
+from ..htm.stats import AbortReason
+from ..sim.config import ForwardClass, HTMConfig, SystemKind, table2_config
+from ..sim.results import SimulationResult
+from .registry import ALL_SYSTEMS, SENSITIVE_WORKLOADS, get_experiment
+from .runner import run_cached
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one reproduced figure."""
+
+    experiment_id: str
+    title: str
+    #: series name -> row label -> value (normalised unless stated).
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: free-form extra payloads (stacks, heat maps, raw results).
+    extra: Dict[str, object] = field(default_factory=dict)
+    rendering: str = ""
+
+    def mean(self, series: str, *, geometric: bool = False) -> float:
+        """STAMP-only mean of a series (micros excluded, paper convention)."""
+        return metrics.mean_normalized_time(
+            self.series[series], geometric=geometric
+        )
+
+
+def _sweep(
+    workloads,
+    systems,
+    *,
+    htm_for=None,
+) -> Dict[SystemKind, Dict[str, SimulationResult]]:
+    out: Dict[SystemKind, Dict[str, SimulationResult]] = {}
+    for system in systems:
+        htm = htm_for(system) if htm_for is not None else None
+        out[system] = {
+            w: run_cached(w, system, htm=htm) for w in workloads
+        }
+    return out
+
+
+def _baselines(workloads) -> Dict[str, SimulationResult]:
+    return {w: run_cached(w, SystemKind.BASELINE) for w in workloads}
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — naive requester-speculates vs baseline.
+# ----------------------------------------------------------------------
+def fig1(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig1")
+    workloads = workloads or exp.workloads
+    base = _baselines(workloads)
+    naive = {w: run_cached(w, SystemKind.NAIVE_RS) for w in workloads}
+    series = {
+        "Baseline": {w: 1.0 for w in workloads},
+        "Naive R-S": metrics.normalized_times(naive, base),
+    }
+    result = FigureResult("fig1", exp.title, series)
+    mean = result.mean("Naive R-S")
+    result.rendering = format_table(
+        "Fig. 1 — Normalized execution time, naive requester-speculates",
+        metrics.order_workloads(workloads),
+        series,
+        footer={
+            "STAMP mean (Naive R-S)": f"{mean:.3f} "
+            f"({'no benefit' if mean >= 0.97 else 'unexpected gain'})"
+        },
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — execution time, all systems.
+# ----------------------------------------------------------------------
+_SYSTEM_LABELS = {
+    SystemKind.BASELINE: "Baseline",
+    SystemKind.NAIVE_RS: "Naive R-S",
+    SystemKind.CHATS: "CHATS",
+    SystemKind.POWER: "Power",
+    SystemKind.PCHATS: "PCHATS",
+    SystemKind.LEVC: "LEVC-BE-Id",
+}
+
+
+def fig4(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig4")
+    workloads = workloads or exp.workloads
+    runs = _sweep(workloads, ALL_SYSTEMS)
+    base = runs[SystemKind.BASELINE]
+    series = {
+        _SYSTEM_LABELS[s]: metrics.normalized_times(runs[s], base)
+        for s in ALL_SYSTEMS
+    }
+    result = FigureResult("fig4", exp.title, series, extra={"runs": runs})
+    footer = {}
+    for s in (SystemKind.CHATS, SystemKind.PCHATS):
+        label = _SYSTEM_LABELS[s]
+        footer[f"STAMP mean ({label})"] = (
+            f"arith {result.mean(label):.3f} / "
+            f"geo {result.mean(label, geometric=True):.3f}"
+        )
+    result.rendering = format_table(
+        "Fig. 4 — Execution time normalized to baseline (lower is better)",
+        metrics.order_workloads(workloads),
+        series,
+        footer=footer,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — aborts split by cause.
+# ----------------------------------------------------------------------
+def fig5(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig5")
+    workloads = workloads or exp.workloads
+    runs = _sweep(workloads, ALL_SYSTEMS)
+    base = runs[SystemKind.BASELINE]
+    series = {
+        _SYSTEM_LABELS[s]: metrics.normalized_aborts(runs[s], base)
+        for s in ALL_SYSTEMS
+    }
+    stacks: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for s in ALL_SYSTEMS:
+        stacks[_SYSTEM_LABELS[s]] = {
+            w: {
+                reason: count
+                for reason, count in r.stats.abort_breakdown().items()
+                if count
+            }
+            for w, r in runs[s].items()
+        }
+    result = FigureResult(
+        "fig5", exp.title, series, extra={"stacks": stacks, "runs": runs}
+    )
+    chats_mean = result.mean(_SYSTEM_LABELS[SystemKind.CHATS])
+    rendering = [
+        format_table(
+            "Fig. 5 — Aborted transactions normalized to baseline",
+            metrics.order_workloads(workloads),
+            series,
+            footer={
+                "STAMP mean (CHATS)": f"{chats_mean:.3f} "
+                f"(paper: ~0.66, a 34% reduction)"
+            },
+        ),
+        "",
+        format_stacked(
+            "Fig. 5 (detail) — abort counts split by cause",
+            metrics.order_workloads(workloads),
+            stacks,
+        ),
+    ]
+    result.rendering = "\n".join(rendering)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — conflicted/forwarding transactions by outcome.
+# ----------------------------------------------------------------------
+def fig6(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig6")
+    workloads = workloads or exp.workloads
+    runs = _sweep(workloads, exp.systems)
+    stacks: Dict[str, Dict[str, Dict[str, float]]] = {}
+    survival: Dict[str, Dict[str, float]] = {}
+    for s in exp.systems:
+        label = _SYSTEM_LABELS[s]
+        stacks[label] = {}
+        survival[label] = {}
+        for w, r in runs[s].items():
+            st = r.stats
+            stacks[label][w] = {
+                "conflicted-committed": st.conflicted_committed,
+                "conflicted-aborted": st.conflicted_aborted,
+                "forwarder-committed": st.forwarder_committed,
+                "forwarder-aborted": st.forwarder_aborted,
+                "consumer-committed": st.consumer_committed,
+                "consumer-aborted": st.consumer_aborted,
+            }
+            fwd_total = st.forwarder_committed + st.forwarder_aborted
+            survival[label][w] = (
+                st.forwarder_committed / fwd_total if fwd_total else 1.0
+            )
+    result = FigureResult(
+        "fig6",
+        exp.title,
+        survival,
+        extra={"stacks": stacks, "runs": runs},
+    )
+    result.rendering = "\n".join(
+        [
+            format_table(
+                "Fig. 6 (summary) — fraction of forwarder transactions that "
+                "commit",
+                metrics.order_workloads(workloads),
+                survival,
+            ),
+            "",
+            format_stacked(
+                "Fig. 6 (detail) — conflicted/forwarding transactions by "
+                "outcome",
+                metrics.order_workloads(workloads),
+                stacks,
+            ),
+        ]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — normalized network flits.
+# ----------------------------------------------------------------------
+def fig7(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig7")
+    workloads = workloads or exp.workloads
+    runs = _sweep(workloads, ALL_SYSTEMS)
+    base = runs[SystemKind.BASELINE]
+    series = {
+        _SYSTEM_LABELS[s]: metrics.normalized_flits(runs[s], base)
+        for s in ALL_SYSTEMS
+    }
+    result = FigureResult("fig7", exp.title, series, extra={"runs": runs})
+    result.rendering = format_table(
+        "Fig. 7 — Interconnect flits normalized to baseline",
+        metrics.order_workloads(workloads),
+        series,
+        footer={
+            "STAMP mean (CHATS)": f"{result.mean('CHATS'):.3f}",
+            "STAMP mean (Naive R-S)": f"{result.mean('Naive R-S'):.3f}",
+        },
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — forwardable block classes.
+# ----------------------------------------------------------------------
+def fig8(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig8")
+    workloads = workloads or exp.workloads
+    classes = (ForwardClass.RW, ForwardClass.W, ForwardClass.R_RESTRICT_W)
+    series: Dict[str, Dict[str, float]] = {}
+    raw: Dict[str, Dict[str, SimulationResult]] = {}
+    for system in exp.systems:
+        # Reference: R/W (Fig. 8 normalizes to CHATS with R/W).
+        table = table2_config(system)
+        reference = {
+            w: run_cached(w, system, htm=table.replace(forward_class=ForwardClass.RW))
+            for w in workloads
+        }
+        for fc in classes:
+            htm = table.replace(forward_class=fc)
+            runs = {w: run_cached(w, system, htm=htm) for w in workloads}
+            label = f"{_SYSTEM_LABELS[system]} {fc.value}"
+            series[label] = metrics.normalized_times(runs, reference)
+            raw[label] = runs
+    result = FigureResult("fig8", exp.title, series, extra={"runs": raw})
+    chats_best = min(
+        (sum(series[f"CHATS {fc.value}"].values()), fc.value) for fc in classes
+    )[1]
+    result.rendering = format_table(
+        "Fig. 8 — Forwardable-block classes (normalized to R/W)",
+        metrics.order_workloads(workloads),
+        series,
+        footer={"best CHATS class": chats_best},
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — retry threshold sweep.
+# ----------------------------------------------------------------------
+RETRY_SWEEP = (1, 2, 6, 16, 32, 64)
+
+
+def fig9(
+    workloads: Optional[Tuple[str, ...]] = None,
+    retries: Tuple[int, ...] = RETRY_SWEEP,
+) -> FigureResult:
+    exp = get_experiment("fig9")
+    workloads = workloads or exp.workloads
+    series: Dict[str, Dict[str, float]] = {}
+    best: Dict[str, int] = {}
+    for system in exp.systems:
+        table = table2_config(system)
+        per_retry_mean: Dict[int, float] = {}
+        for n in retries:
+            htm = table.replace(retries=n)
+            runs = {w: run_cached(w, system, htm=htm) for w in workloads}
+            label = f"{_SYSTEM_LABELS[system]} r={n}"
+            cycles = {w: float(r.cycles) for w, r in runs.items()}
+            series[label] = cycles
+            per_retry_mean[n] = sum(cycles.values()) / len(cycles)
+        best[_SYSTEM_LABELS[system]] = min(per_retry_mean, key=per_retry_mean.get)
+    # Normalise each workload row to its own minimum across the sweep so
+    # sweet spots are visible regardless of absolute magnitudes.
+    normalized: Dict[str, Dict[str, float]] = {}
+    for label, cycles in series.items():
+        normalized[label] = cycles
+    mins: Dict[str, float] = {}
+    for w in workloads:
+        mins[w] = min(series[label][w] for label in series)
+    for label in series:
+        normalized[label] = {w: series[label][w] / mins[w] for w in workloads}
+    result = FigureResult(
+        "fig9", exp.title, normalized, extra={"best_retries": best}
+    )
+    result.rendering = format_table(
+        "Fig. 9 — Retry-threshold sweep (per-workload, normalized to the "
+        "best cell)",
+        metrics.order_workloads(workloads),
+        normalized,
+        footer={f"best retries ({k})": str(v) for k, v in best.items()},
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — VSB size × validation interval.
+# ----------------------------------------------------------------------
+VSB_SIZES = (1, 2, 4, 8)
+VALIDATION_INTERVALS = (25, 50, 100, 200)
+
+
+def fig10(
+    workloads: Optional[Tuple[str, ...]] = None,
+    *,
+    sizes: Tuple[int, ...] = VSB_SIZES,
+    intervals: Tuple[int, ...] = VALIDATION_INTERVALS,
+) -> FigureResult:
+    exp = get_experiment("fig10")
+    workloads = workloads or exp.workloads
+    heat_time: Dict[tuple, float] = {}
+    heat_aborts: Dict[tuple, float] = {}
+    renderings: List[str] = []
+    raw = {}
+    for system in exp.systems:
+        table = table2_config(system)
+        # Reference cell: smallest VSB, shortest interval (the paper
+        # normalizes to the bottom-left square: 50 cycles / 1 entry).
+        for size in sizes:
+            for interval in intervals:
+                htm = table.replace(vsb_size=size, validation_interval=interval)
+                runs = {w: run_cached(w, system, htm=htm) for w in workloads}
+                cycles = sum(r.cycles for r in runs.values())
+                aborts = sum(r.total_aborts for r in runs.values())
+                raw[(system, size, interval)] = runs
+                heat_time[(f"{_SYSTEM_LABELS[system]} vsb={size}", interval)] = cycles
+                heat_aborts[(f"{_SYSTEM_LABELS[system]} vsb={size}", interval)] = aborts
+        ref_time = heat_time[(f"{_SYSTEM_LABELS[system]} vsb={sizes[0]}", 50 if 50 in intervals else intervals[0])]
+        ref_aborts = max(
+            1.0,
+            heat_aborts[(f"{_SYSTEM_LABELS[system]} vsb={sizes[0]}", 50 if 50 in intervals else intervals[0])],
+        )
+        rows = [f"{_SYSTEM_LABELS[system]} vsb={s}" for s in sizes]
+        renderings.append(
+            format_heatmap(
+                f"Fig. 10 — {_SYSTEM_LABELS[system]}: execution time "
+                "(normalized to vsb=1 @ 50 cycles); columns = validation "
+                "interval",
+                rows,
+                list(intervals),
+                {k: v / ref_time for k, v in heat_time.items() if k[0] in rows},
+            )
+        )
+        renderings.append(
+            format_heatmap(
+                f"Fig. 10 — {_SYSTEM_LABELS[system]}: aborts (normalized)",
+                rows,
+                list(intervals),
+                {k: v / ref_aborts for k, v in heat_aborts.items() if k[0] in rows},
+            )
+        )
+    result = FigureResult(
+        "fig10",
+        exp.title,
+        {},
+        extra={"time": heat_time, "aborts": heat_aborts, "runs": raw},
+    )
+    result.rendering = "\n\n".join(renderings)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — comparison with LEVC-BE-Idealized.
+# ----------------------------------------------------------------------
+def fig11(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
+    exp = get_experiment("fig11")
+    workloads = workloads or exp.workloads
+    base = _baselines(workloads)
+    systems = (SystemKind.CHATS, SystemKind.PCHATS, SystemKind.LEVC)
+    runs = _sweep(workloads, systems)
+    series = {
+        _SYSTEM_LABELS[s]: metrics.normalized_times(runs[s], base)
+        for s in systems
+    }
+    result = FigureResult("fig11", exp.title, series, extra={"runs": runs})
+    chats = result.mean("CHATS")
+    pchats = result.mean("PCHATS")
+    levc = result.mean("LEVC-BE-Id")
+    result.rendering = format_table(
+        "Fig. 11 — Execution time over the baseline: CHATS/PCHATS vs "
+        "LEVC-BE-Idealized",
+        metrics.order_workloads(workloads),
+        series,
+        footer={
+            "STAMP means": f"CHATS {chats:.3f}, PCHATS {pchats:.3f}, "
+            f"LEVC {levc:.3f}",
+            "CHATS vs LEVC": f"{(levc - chats) / levc * 100:+.1f}% "
+            "(paper: CHATS ~4.6% ahead on average)",
+        },
+    )
+    return result
+
+
+FIGURES = {
+    "fig1": fig1,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+
+def run_figure(figure_id: str, **kwargs) -> FigureResult:
+    """Run one figure by id (``fig1`` ... ``fig11``)."""
+    try:
+        fn = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
+        ) from None
+    return fn(**kwargs)

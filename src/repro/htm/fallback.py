@@ -1,0 +1,34 @@
+"""Global fallback lock with eager subscription (Section V-C).
+
+Best-effort HTM gives no forward-progress guarantee, so after the retry
+threshold a transaction re-executes non-speculatively under a single global
+lock [10].  Transactions *eagerly subscribe*: they read the lock word at
+begin, putting its block into their read signature, so the lock holder's
+acquiring store (a conflicting non-transactional GETX) aborts every running
+transaction — preserving atomicity against the non-speculative path.
+
+The lock itself is an ordinary simulated memory word manipulated with the
+non-transactional atomic-CAS path of the coherence model; this module only
+pins its address and tracks contention statistics.
+"""
+
+from __future__ import annotations
+
+from ..mem.address import AddressSpace
+
+
+LOCK_FREE = 0
+LOCK_HELD = 1
+
+
+class FallbackLock:
+    """Address + bookkeeping for the single global fallback lock."""
+
+    def __init__(self, space: AddressSpace):
+        # A dedicated block so the lock never false-shares with data.
+        self.addr = space.alloc(space.geometry.block_bytes)
+        self.acquisitions = 0
+        self.failed_cas = 0
+
+    def block(self, geometry) -> int:
+        return geometry.block_of(self.addr)

@@ -1,0 +1,78 @@
+"""Read-set signatures.
+
+The paper's baseline uses a *perfect* signature for read sets (Section
+VI-B), following commercial RTM implementations whose read sets can exceed
+the private cache.  A perfect signature never produces false positives or
+negatives; we also provide a classic Bloom-filter signature for ablation
+studies of the "perfect signature" assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+class PerfectSignature:
+    """Exact set of blocks — the paper's evaluation configuration."""
+
+    def __init__(self) -> None:
+        self._blocks: Set[int] = set()
+
+    def add(self, block: int) -> None:
+        self._blocks.add(block)
+
+    def test(self, block: int) -> bool:
+        return block in self._blocks
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def blocks(self) -> Set[int]:
+        return set(self._blocks)
+
+
+class BloomSignature:
+    """H3-style Bloom filter signature (for sensitivity studies only).
+
+    False positives manifest as spurious conflicts, exactly as a real
+    hardware signature would behave.
+    """
+
+    def __init__(self, bits: int = 2048, hashes: int = 4, seed: int = 0x5EED):
+        if bits <= 0 or hashes <= 0:
+            raise ValueError("bits and hashes must be positive")
+        self._bits = bits
+        self._hashes = hashes
+        self._seed = seed
+        self._filter = 0
+        self._count = 0
+
+    def _positions(self, block: int) -> Iterable[int]:
+        x = block ^ self._seed
+        for i in range(self._hashes):
+            # xorshift-style mix per hash function.
+            x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+            x ^= x >> 7
+            x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+            yield (x + i * 0x9E3779B97F4A7C15) % self._bits
+
+    def add(self, block: int) -> None:
+        for pos in self._positions(block):
+            self._filter |= 1 << pos
+        self._count += 1
+
+    def test(self, block: int) -> bool:
+        return all(self._filter & (1 << pos) for pos in self._positions(block))
+
+    def clear(self) -> None:
+        self._filter = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count

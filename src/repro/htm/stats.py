@@ -1,0 +1,144 @@
+"""Statistics collected during simulation.
+
+These counters back the paper's evaluation figures:
+
+* Fig. 4 — execution time (``cycles``).
+* Fig. 5 — aborted transactions split by :class:`AbortReason`.
+* Fig. 6 — executed transactions that conflicted/forwarded, split by how
+  the attempt finished (committed vs aborted).
+* Fig. 7 — network flits (collected by the crossbar, merged here).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class AbortReason(Enum):
+    """Why a transaction attempt rolled back (Fig. 5 categories)."""
+
+    CONFLICT = "conflict"  # requester-wins resolution chose us as victim
+    VALIDATION = "validation"  # value mismatch on a speculated block
+    CYCLE = "cycle"  # PiC rule detected a (potential) cycle
+    CAPACITY = "capacity"  # SM line eviction or VSB pressure
+    LOCK = "lock"  # fallback-lock subscription invalidated
+    NAIVE_LIMIT = "naive-limit"  # naive R-S validation budget exhausted
+    EXPLICIT = "explicit"  # workload/runtime requested the abort
+    POWER = "power"  # lost a conflict against a power transaction
+
+    @property
+    def conflict_induced(self) -> bool:
+        """Whether the abort counts against the retry/power thresholds.
+
+        The paper's retry thresholds and PowerTM elevation trigger count
+        *conflict-induced* aborts; capacity and explicit aborts go straight
+        to other handling.
+        """
+        return self in (
+            AbortReason.CONFLICT,
+            AbortReason.VALIDATION,
+            AbortReason.CYCLE,
+            AbortReason.NAIVE_LIMIT,
+            AbortReason.POWER,
+            AbortReason.LOCK,
+        )
+
+
+class AttemptOutcome(Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class AttemptRecord:
+    """Fig. 6 bookkeeping for a single hardware transaction attempt."""
+
+    conflicted: bool = False  # involved in any conflict (either side)
+    forwarded: bool = False  # produced speculative data for someone
+    consumed: bool = False  # received speculative data
+    outcome: Optional[AttemptOutcome] = None
+    reason: Optional[AbortReason] = None
+
+
+@dataclass
+class HTMStats:
+    """Aggregate counters for one simulation run."""
+
+    tx_attempts: int = 0
+    tx_commits: int = 0
+    tx_fallback_commits: int = 0  # executed under the global lock
+    power_commits: int = 0  # committed holding the power token
+    aborts: Counter = field(default_factory=Counter)  # AbortReason -> count
+    spec_forwards: int = 0  # SpecResp messages produced
+    validations_attempted: int = 0
+    validations_succeeded: int = 0
+    validation_mismatches: int = 0
+    # Per-transaction-site statistics (keyed by Txn.label, "" when unset).
+    label_commits: Counter = field(default_factory=Counter)
+    label_aborts: Counter = field(default_factory=Counter)
+    # Fig. 6: attempts that conflicted/forwarded, split by outcome.
+    conflicted_committed: int = 0
+    conflicted_aborted: int = 0
+    forwarder_committed: int = 0
+    forwarder_aborted: int = 0
+    consumer_committed: int = 0
+    consumer_aborted: int = 0
+
+    def record_attempt(self, record: AttemptRecord) -> None:
+        committed = record.outcome is AttemptOutcome.COMMITTED
+        if record.conflicted:
+            if committed:
+                self.conflicted_committed += 1
+            else:
+                self.conflicted_aborted += 1
+        if record.forwarded:
+            if committed:
+                self.forwarder_committed += 1
+            else:
+                self.forwarder_aborted += 1
+        if record.consumed:
+            if committed:
+                self.consumer_committed += 1
+            else:
+                self.consumer_aborted += 1
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    def abort_breakdown(self) -> Dict[str, int]:
+        return {reason.value: self.aborts.get(reason, 0) for reason in AbortReason}
+
+    def label_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-transaction-site commit/abort counts (labels from Txn)."""
+        labels = set(self.label_commits) | set(self.label_aborts)
+        return {
+            label: {
+                "commits": self.label_commits.get(label, 0),
+                "aborts": self.label_aborts.get(label, 0),
+            }
+            for label in sorted(labels)
+        }
+
+    def merge(self, other: "HTMStats") -> None:
+        """Accumulate another core's counters into this one."""
+        self.label_commits.update(other.label_commits)
+        self.label_aborts.update(other.label_aborts)
+        self.tx_attempts += other.tx_attempts
+        self.tx_commits += other.tx_commits
+        self.tx_fallback_commits += other.tx_fallback_commits
+        self.power_commits += other.power_commits
+        self.aborts.update(other.aborts)
+        self.spec_forwards += other.spec_forwards
+        self.validations_attempted += other.validations_attempted
+        self.validations_succeeded += other.validations_succeeded
+        self.validation_mismatches += other.validation_mismatches
+        self.conflicted_committed += other.conflicted_committed
+        self.conflicted_aborted += other.conflicted_aborted
+        self.forwarder_committed += other.forwarder_committed
+        self.forwarder_aborted += other.forwarder_aborted
+        self.consumer_committed += other.consumer_committed
+        self.consumer_aborted += other.consumer_aborted

@@ -1,0 +1,159 @@
+"""Per-core hardware transaction state.
+
+One :class:`TxState` object describes a single *attempt* of a transaction:
+read signature, write set, redo image (speculative store), VSB, PiC, the
+power/priority bit, and the Fig. 6 attempt record.  A retry creates a fresh
+``TxState`` with a new epoch so that in-flight responses addressed to the
+dead attempt can be recognised and dropped.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Set
+
+from ..core.pic import PiCRegister
+from ..core.vsb import ValidationStateBuffer
+from ..mem.memory import MainMemory, SpeculativeStore
+from ..sim.config import HTMConfig
+from .signature import BloomSignature, PerfectSignature
+from .stats import AbortReason, AttemptRecord
+
+
+class TxStatus(Enum):
+    ACTIVE = "active"
+    ABORTING = "aborting"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TxState:
+    """State of one hardware transaction attempt on one core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        epoch: int,
+        memory: MainMemory,
+        htm: HTMConfig,
+        *,
+        power: bool = False,
+        timestamp: Optional[int] = None,
+    ):
+        self.core_id = core_id
+        self.epoch = epoch
+        self.status = TxStatus.ACTIVE
+        self.power = power
+        #: LEVC ideal timestamp (kept across retries by the core driver).
+        self.timestamp = timestamp
+
+        # Perfect signature per the paper's evaluation; a Bloom filter
+        # when the configuration ablates that assumption.
+        self.read_sig = (
+            PerfectSignature()
+            if htm.signature_bits is None
+            else BloomSignature(bits=htm.signature_bits)
+        )
+        self.write_set: Set[int] = set()
+        self.store = SpeculativeStore(memory)
+        self.pic = PiCRegister(limit=htm.pic_limit, init=htm.pic_init)
+        self.vsb = (
+            ValidationStateBuffer(htm.vsb_size)
+            if htm.system.forwards and htm.vsb_size
+            else ValidationStateBuffer(1)
+        )
+        #: Naive R-S escape hatch: unsuccessful-validation budget.
+        self.naive_budget = htm.naive_validation_budget
+
+        self.abort_reason: Optional[AbortReason] = None
+        self.record = AttemptRecord()
+
+        # LEVC restrictions bookkeeping.
+        self.levc_has_consumer = False
+        self.levc_has_consumed = False
+        self.levc_has_produced = False
+
+        # Whether the attempt is waiting in the commit fence for the VSB
+        # to drain (Section III-A: commit requires an empty VSB).
+        self.commit_pending = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self.status is TxStatus.ACTIVE
+
+    def reads(self, block: int) -> bool:
+        return self.read_sig.test(block)
+
+    def writes(self, block: int) -> bool:
+        return block in self.write_set
+
+    def conflicts_with_read(self, block: int) -> bool:
+        """A remote *exclusive* request conflicts with reads and writes."""
+        return self.reads(block) or self.writes(block)
+
+    def conflicts_with_write(self, block: int) -> bool:
+        """A remote *read* request conflicts only with our writes."""
+        return self.writes(block)
+
+    def track_read(self, block: int) -> None:
+        self.read_sig.add(block)
+
+    def track_write(self, block: int) -> None:
+        self.write_set.add(block)
+        # Writes imply read permission in the conflict model.
+        self.read_sig.add(block)
+
+    def footprint(self) -> Set[int]:
+        """Exact footprint (perfect signatures only); Bloom-signature
+        transactions fall back to the write set plus nothing — callers
+        needing membership should use :meth:`reads`/:meth:`writes`."""
+        if isinstance(self.read_sig, PerfectSignature):
+            return self.read_sig.blocks() | self.write_set
+        return set(self.write_set)
+
+    # ------------------------------------------------------------------
+    def mark_conflicted(self) -> None:
+        self.record.conflicted = True
+
+    def mark_forwarded(self) -> None:
+        self.record.conflicted = True
+        self.record.forwarded = True
+        self.levc_has_consumer = True
+        self.levc_has_produced = True
+
+    def mark_consumed(self) -> None:
+        self.record.conflicted = True
+        self.record.consumed = True
+        self.levc_has_consumed = True
+
+    # ------------------------------------------------------------------
+    def begin_abort(self, reason: AbortReason) -> None:
+        """Transition to ABORTING (cleanup happens at the core driver)."""
+        if self.status in (TxStatus.COMMITTED, TxStatus.ABORTED):
+            raise RuntimeError(f"abort of finished transaction ({self.status})")
+        if self.status is TxStatus.ABORTING:
+            return  # already dying; first reason wins
+        self.status = TxStatus.ABORTING
+        self.abort_reason = reason
+
+    def finish_abort(self) -> None:
+        self.store.discard()
+        self.vsb.clear()
+        self.pic.reset()
+        self.read_sig.clear()
+        self.write_set.clear()
+        self.status = TxStatus.ABORTED
+
+    def can_commit(self) -> bool:
+        """Commit gate: every speculatively received block validated."""
+        return self.status is TxStatus.ACTIVE and self.vsb.empty
+
+    def commit(self) -> None:
+        if not self.can_commit():
+            raise RuntimeError("commit attempted with pending speculation")
+        self.store.commit()
+        self.read_sig.clear()
+        self.write_set.clear()
+        self.pic.reset()
+        self.status = TxStatus.COMMITTED

@@ -1,0 +1,163 @@
+"""Set-associative L1 data cache model.
+
+Only the L1 needs structural modelling: it is where speculative versioning
+happens (the SM bit per line) and where capacity aborts originate.  L2/L3
+are modelled as latency (values live in :mod:`repro.mem.memory`).
+
+Key behaviours from the paper's baseline (Section VI-B):
+
+* lazy versioning — speculatively written blocks are marked SM; the
+  non-speculative version conceptually lives in L2 (our committed memory);
+* abort is a conditional gang-invalidation of SM lines;
+* replacement favours write-set blocks, so evicting an SM line (a capacity
+  abort) only happens when a set fills with SM lines;
+* speculatively *received* blocks (CHATS) are inserted as SM write-set
+  lines so the existing machinery discards them on abort (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.config import SystemConfig
+
+
+@dataclass
+class CacheLine:
+    block: int
+    state: str = "I"  # I, S, E, M
+    speculative: bool = False  # the SM bit
+    spec_received: bool = False  # received via SpecResp, pending validation
+    last_use: int = 0
+
+
+class CapacityAbort(Exception):
+    """Raised when an SM line must be evicted: the transaction cannot keep
+    its write set in L1 and must abort (capacity abort)."""
+
+    def __init__(self, block: int):
+        super().__init__(f"eviction of speculative block {block:#x}")
+        self.block = block
+
+
+@dataclass
+class L1Cache:
+    """Per-core L1D.  Tracks presence/state; values live elsewhere."""
+
+    config: SystemConfig
+    _sets: List[Dict[int, CacheLine]] = field(default_factory=list)
+    _tick: int = 0
+
+    def __post_init__(self) -> None:
+        self._sets = [dict() for _ in range(self.config.l1_sets)]
+
+    def _set_of(self, block: int) -> Dict[int, CacheLine]:
+        return self._sets[block % self.config.l1_sets]
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        line = self._set_of(block).get(block)
+        if line is not None:
+            self._tick += 1
+            line.last_use = self._tick
+        return line
+
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """Lookup without touching recency."""
+        return self._set_of(block).get(block)
+
+    def install(
+        self,
+        block: int,
+        state: str,
+        *,
+        speculative: bool = False,
+        spec_received: bool = False,
+    ) -> Optional[CacheLine]:
+        """Insert/refresh a line.
+
+        Returns the evicted victim line (so the controller can write back
+        owned victims), or ``None``.  Raises :class:`CapacityAbort` when
+        the only victims available are speculative (SM) lines.
+        """
+        cset = self._set_of(block)
+        line = cset.get(block)
+        self._tick += 1
+        if line is not None:
+            line.state = state
+            line.speculative = line.speculative or speculative
+            line.spec_received = line.spec_received or spec_received
+            line.last_use = self._tick
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cset) >= self.config.l1_ways:
+            victim_block = self._choose_victim(cset)
+            victim = cset[victim_block]
+            if victim.speculative:
+                # Write-set block would leave the cache: capacity abort.
+                raise CapacityAbort(victim_block)
+            del cset[victim_block]
+        cset[block] = CacheLine(
+            block=block,
+            state=state,
+            speculative=speculative,
+            spec_received=spec_received,
+            last_use=self._tick,
+        )
+        return victim
+
+    def _choose_victim(self, cset: Dict[int, CacheLine]) -> int:
+        """LRU among non-speculative lines first (write-set-aware policy);
+        among speculative lines only when no other choice exists.  With
+        the ablation switch off, plain LRU applies — evicting whatever is
+        oldest, including SM lines (which then costs a capacity abort)."""
+        if self.config.write_set_aware_replacement:
+            non_spec = [l for l in cset.values() if not l.speculative]
+            pool = non_spec if non_spec else list(cset.values())
+        else:
+            pool = list(cset.values())
+        return min(pool, key=lambda l: l.last_use).block
+
+    def mark_speculative(self, block: int) -> None:
+        line = self._set_of(block).get(block)
+        if line is None:
+            raise KeyError(f"block {block:#x} not cached")
+        line.speculative = True
+
+    def invalidate(self, block: int) -> None:
+        self._set_of(block).pop(block, None)
+
+    def gang_invalidate_speculative(self) -> List[int]:
+        """Abort path: drop every SM line; returns the blocks dropped."""
+        dropped: List[int] = []
+        for cset in self._sets:
+            for block in [b for b, l in cset.items() if l.speculative]:
+                dropped.append(block)
+                del cset[block]
+        return dropped
+
+    def clear_speculative_marks(self) -> List[int]:
+        """Commit path: SM lines become ordinary M lines; returns them."""
+        cleared: List[int] = []
+        for cset in self._sets:
+            for line in cset.values():
+                if line.speculative:
+                    line.speculative = False
+                    line.spec_received = False
+                    line.state = "M"
+                    cleared.append(line.block)
+        return cleared
+
+    def speculative_blocks(self) -> List[int]:
+        return [
+            line.block
+            for cset in self._sets
+            for line in cset.values()
+            if line.speculative
+        ]
+
+    def resident_blocks(self) -> List[int]:
+        return [line.block for cset in self._sets for line in cset.values()]
+
+    def occupancy(self) -> int:
+        return sum(len(cset) for cset in self._sets)

@@ -1,0 +1,625 @@
+"""Per-core L1 controller: the meeting point of coherence and HTM.
+
+Each core owns one :class:`L1Controller`.  It performs the core's memory
+operations against the simulated machine (cache lookup, request issue,
+response handling) and services incoming probes (forwards from the
+directory, invalidations), where transactional conflicts are detected and
+resolved through the configured :class:`~repro.core.policies.ConflictPolicy`.
+
+Request/response bookkeeping uses per-request ids plus the transaction
+attempt *epoch*: responses addressed to a dead attempt are dropped, which
+is how the hardware's "ignore stale replies after rollback" behaviour is
+modelled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from ..core.policies import ConflictPolicy, Resolution
+from ..htm.stats import AbortReason, HTMStats
+from ..htm.txstate import TxState
+from ..net.messages import DIRECTORY, Message, MessageKind
+from ..net.network import Crossbar
+from ..sim.config import HTMConfig, SystemConfig
+from ..sim.engine import Engine
+from .address import Geometry
+from .cache import CapacityAbort, L1Cache
+from .memory import MainMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Core
+
+ValueCallback = Callable[[int], None]
+MsgCallback = Callable[[Message], None]
+
+
+@dataclass
+class _Outstanding:
+    block: int
+    exclusive: bool
+    transactional: bool
+    epoch: int
+    is_validation: bool
+    # Exactly one of the two callbacks is set.
+    on_value: Optional[ValueCallback] = None
+    on_message: Optional[MsgCallback] = None
+    # Pending non-transactional side effects applied at completion.
+    write_value: Optional[int] = None
+    addr: int = 0
+    cas: Optional[tuple] = None  # (expect, new)
+
+
+class L1Controller:
+    """Coherence + HTM endpoint for one core."""
+
+    _req_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: Engine,
+        config: SystemConfig,
+        htm: HTMConfig,
+        geometry: Geometry,
+        memory: MainMemory,
+        network: Crossbar,
+        policy: ConflictPolicy,
+        stats: HTMStats,
+        lock_block: int,
+    ):
+        self.core_id = core_id
+        self._engine = engine
+        self._config = config
+        self._htm = htm
+        self._geometry = geometry
+        self._memory = memory
+        self._network = network
+        self._policy = policy
+        self._stats = stats
+        self._lock_block = lock_block
+        self.cache = L1Cache(config)
+        self._outstanding: Dict[int, _Outstanding] = {}
+        #: Set lazily by the simulator after cores are built.
+        self.core: "Core" = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+    def _tx(self) -> Optional[TxState]:
+        core = self.core
+        tx = core.tx if core is not None else None
+        if tx is not None and tx.active:
+            return tx
+        return None
+
+    def has_inflight_exclusive(self, block: int) -> bool:
+        """Rrestrict/W heuristic probe: is a local write to ``block``
+        in flight or imminent?  Covers both an outstanding exclusive
+        request and the store-address prediction from earlier attempts of
+        the same transaction."""
+        if any(
+            o.exclusive and o.block == block and not o.is_validation
+            for o in self._outstanding.values()
+        ):
+            return True
+        return self.core is not None and self.core.write_predicted(block)
+
+    def _send_request(
+        self,
+        kind: MessageKind,
+        block: int,
+        out: _Outstanding,
+        *,
+        non_transactional: bool = False,
+        is_validation: bool = False,
+    ) -> int:
+        req_id = next(self._req_ids)
+        self._outstanding[req_id] = out
+        tx = self._tx() if not non_transactional else None
+        msg = Message(
+            kind=kind,
+            src=self.core_id,
+            dst=DIRECTORY,
+            block=block,
+            epoch=out.epoch,
+            req_id=req_id,
+            non_transactional=non_transactional,
+            is_validation=is_validation,
+        )
+        if tx is not None:
+            msg.pic = tx.pic.value
+            msg.power = tx.power
+            msg.timestamp = tx.timestamp
+            msg.req_produced = tx.levc_has_produced
+            msg.req_consumed = tx.levc_has_consumed
+            msg.can_consume = is_validation or (
+                self._htm.system.forwards and not tx.power and not tx.vsb.full
+            )
+        else:
+            msg.can_consume = False
+        self._network.send(msg)
+        return req_id
+
+    def _hit_latency_callback(self, fn: Callable, *args) -> None:
+        self._engine.schedule(self._config.l1_hit_latency, fn, *args)
+
+    def _abort_capacity(self, tx: TxState) -> None:
+        self.core.abort_tx(AbortReason.CAPACITY)
+
+    def _install(self, block: int, state: str, **flags) -> bool:
+        """Install a line; on a capacity abort of the running transaction
+        returns False (the caller's operation dies with the attempt)."""
+        try:
+            victim = self.cache.install(block, state, **flags)
+        except CapacityAbort:
+            tx = self._tx()
+            if tx is not None:
+                self._abort_capacity(tx)
+                return False
+            raise
+        if victim is not None and victim.state in ("E", "M"):
+            # Notify the directory for owned victims so it does not keep
+            # forwarding to us; shared victims are evicted silently.
+            self._network.send(
+                Message(
+                    kind=MessageKind.WRITEBACK,
+                    src=self.core_id,
+                    dst=DIRECTORY,
+                    block=victim.block,
+                    data=self._memory.block_value(victim.block),
+                )
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Transactional operations (called by the core driver).
+    # ------------------------------------------------------------------
+    def tx_read(self, tx: TxState, addr: int, callback: ValueCallback) -> None:
+        block = self._geometry.block_of(addr)
+        tx.track_read(block)
+        line = self.cache.lookup(block)
+        if line is not None:
+            self._hit_latency_callback(callback, tx.store.read_word(addr))
+            return
+        out = _Outstanding(
+            block=block,
+            exclusive=False,
+            transactional=True,
+            epoch=tx.epoch,
+            is_validation=False,
+            on_value=callback,
+            addr=addr,
+        )
+        self._send_request(MessageKind.GETS, block, out)
+
+    def tx_write(
+        self, tx: TxState, addr: int, value: int, callback: ValueCallback
+    ) -> None:
+        block = self._geometry.block_of(addr)
+        tx.track_write(block)
+        tx.store.write_word(addr, value)
+        line = self.cache.lookup(block)
+        if line is not None and line.state in ("E", "M"):
+            line.state = "M"
+            line.speculative = True
+            self._hit_latency_callback(callback, 0)
+            return
+        out = _Outstanding(
+            block=block,
+            exclusive=True,
+            transactional=True,
+            epoch=tx.epoch,
+            is_validation=False,
+            on_value=callback,
+            addr=addr,
+        )
+        kind = MessageKind.UPGRADE if line is not None else MessageKind.GETX
+        self._send_request(kind, block, out)
+
+    def issue_validation(
+        self, tx: TxState, block: int, callback: MsgCallback
+    ) -> None:
+        """Validation controller path: exclusive re-request of a VSB block."""
+        out = _Outstanding(
+            block=block,
+            exclusive=True,
+            transactional=True,
+            epoch=tx.epoch,
+            is_validation=True,
+            on_message=callback,
+        )
+        self._send_request(MessageKind.GETX, block, out, is_validation=True)
+
+    # ------------------------------------------------------------------
+    # Non-transactional operations.
+    # ------------------------------------------------------------------
+    def nontx_read(self, addr: int, callback: ValueCallback) -> None:
+        block = self._geometry.block_of(addr)
+        line = self.cache.lookup(block)
+        if line is not None:
+            self._hit_latency_callback(callback, self._memory.read_word(addr))
+            return
+        out = _Outstanding(
+            block=block,
+            exclusive=False,
+            transactional=False,
+            epoch=0,
+            is_validation=False,
+            on_value=callback,
+            addr=addr,
+        )
+        self._send_request(MessageKind.GETS, block, out, non_transactional=True)
+
+    def nontx_write(self, addr: int, value: int, callback: ValueCallback) -> None:
+        block = self._geometry.block_of(addr)
+        line = self.cache.lookup(block)
+        if line is not None and line.state in ("E", "M") and not line.speculative:
+            line.state = "M"
+            self._memory.write_word(addr, value)
+            self._hit_latency_callback(callback, 0)
+            return
+        out = _Outstanding(
+            block=block,
+            exclusive=True,
+            transactional=False,
+            epoch=0,
+            is_validation=False,
+            on_value=callback,
+            addr=addr,
+            write_value=value,
+        )
+        self._send_request(MessageKind.GETX, block, out, non_transactional=True)
+
+    def nontx_cas(
+        self, addr: int, expect: int, new: int, callback: ValueCallback
+    ) -> None:
+        block = self._geometry.block_of(addr)
+        line = self.cache.lookup(block)
+        if line is not None and line.state in ("E", "M") and not line.speculative:
+            observed = self._memory.read_word(addr)
+            if observed == expect:
+                self._memory.write_word(addr, new)
+            self._hit_latency_callback(callback, observed)
+            return
+        out = _Outstanding(
+            block=block,
+            exclusive=True,
+            transactional=False,
+            epoch=0,
+            is_validation=False,
+            on_value=callback,
+            addr=addr,
+            cas=(expect, new),
+        )
+        self._send_request(MessageKind.GETX, block, out, non_transactional=True)
+
+    # ------------------------------------------------------------------
+    # Incoming message dispatch.
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind in (MessageKind.FWD_GETS, MessageKind.FWD_GETX):
+            self._handle_forwarded_probe(msg)
+        elif kind is MessageKind.INV:
+            self._handle_inv(msg)
+        elif kind in (
+            MessageKind.DATA,
+            MessageKind.DATA_E,
+            MessageKind.SPEC_RESP,
+            MessageKind.NACK,
+        ):
+            self._handle_response(msg)
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"L1 cannot handle {msg!r}")
+
+    # -- Holder side: probes -------------------------------------------
+    def _handle_forwarded_probe(self, msg: Message) -> None:
+        block = msg.block
+        line = self.cache.peek(block)
+        if line is None or line.state not in ("E", "M"):
+            # Stale ownership (gang invalidation, silent eviction, or a
+            # dropped grant raced with this probe): drop any stale shared
+            # copy and let the directory heal from memory.
+            self.cache.invalidate(block)
+            self._unblock(msg, "not_present")
+            return
+        tx = self._tx()
+        exclusive = msg.kind is MessageKind.FWD_GETX
+        conflict = tx is not None and (
+            tx.conflicts_with_read(block) if exclusive else tx.conflicts_with_write(block)
+        )
+        if conflict:
+            self._resolve_conflict(tx, msg, invalidate_on_abort=True)
+            return
+        # Plain MESI service.
+        data = self._memory.block_value(block)
+        if exclusive:
+            self.cache.invalidate(block)
+            self._respond_data(msg, MessageKind.DATA_E, data)
+            self._unblock(msg, "xfer")
+        else:
+            line.state = "S"
+            self._respond_data(msg, MessageKind.DATA, data)
+            self._unblock(msg, "downgrade")
+
+    def _handle_inv(self, msg: Message) -> None:
+        block = msg.block
+        tx = self._tx()
+        conflict = tx is not None and tx.conflicts_with_read(block)
+        if conflict:
+            self._resolve_conflict(tx, msg, invalidate_on_abort=True, via_inv=True)
+            return
+        self.cache.invalidate(block)
+        self._ack_inv(msg, "invalidated")
+
+    def _resolve_conflict(
+        self,
+        tx: TxState,
+        msg: Message,
+        *,
+        invalidate_on_abort: bool,
+        via_inv: bool = False,
+    ) -> None:
+        """Apply the conflict policy as the holder of ``msg.block``."""
+        outcome = self._policy.resolve(tx, msg, self.has_inflight_exclusive)
+        if outcome.resolution is Resolution.FORWARD_SPEC:
+            tx.mark_forwarded()
+            self._stats.spec_forwards += 1
+            self._network.send(
+                Message(
+                    kind=MessageKind.SPEC_RESP,
+                    src=self.core_id,
+                    dst=msg.requester,
+                    block=msg.block,
+                    data=tx.store.block_value(msg.block),
+                    pic=outcome.message_pic,
+                    power=outcome.from_power,
+                    epoch=msg.epoch,
+                    req_id=msg.req_id,
+                )
+            )
+            if via_inv:
+                self._ack_inv(msg, "refused")
+            else:
+                self._cancel(msg)
+            return
+        if outcome.resolution is Resolution.NACK:
+            tx.mark_conflicted()
+            self._network.send(
+                Message(
+                    kind=MessageKind.NACK,
+                    src=self.core_id,
+                    dst=msg.requester,
+                    block=msg.block,
+                    epoch=msg.epoch,
+                    req_id=msg.req_id,
+                )
+            )
+            if via_inv:
+                self._ack_inv(msg, "refused")
+            else:
+                self._cancel(msg)
+            return
+        # Requester-wins: the holder's transaction dies.
+        tx.mark_conflicted()
+        reason = outcome.abort_reason
+        if msg.block == self._lock_block:
+            reason = AbortReason.LOCK
+        elif msg.power and reason is AbortReason.CONFLICT:
+            reason = AbortReason.POWER
+        self.core.abort_tx(reason)
+        # Gang invalidation dropped the SM lines, but the probed block may
+        # be cached *non-speculatively* (e.g. the fallback lock block, or a
+        # block owned before the transaction began).  The directory will
+        # hand it to the requester from memory, so our copy must go too.
+        self.cache.invalidate(msg.block)
+        if via_inv:
+            self._ack_inv(msg, "invalidated")
+        else:
+            # The directory supplies non-speculative data from memory.
+            self._unblock(msg, "aborted")
+
+    def _respond_data(self, probe: Message, kind: MessageKind, data) -> None:
+        self._network.send(
+            Message(
+                kind=kind,
+                src=self.core_id,
+                dst=probe.requester,
+                block=probe.block,
+                data=data,
+                epoch=probe.epoch,
+                req_id=probe.req_id,
+            )
+        )
+
+    def _unblock(self, probe: Message, action: str) -> None:
+        self._network.send(
+            Message(
+                kind=MessageKind.UNBLOCK,
+                src=self.core_id,
+                dst=DIRECTORY,
+                block=probe.block,
+                requester=probe.requester,
+                exclusive=probe.exclusive,
+                epoch=probe.epoch,
+                req_id=probe.req_id,
+                action=action,
+            )
+        )
+
+    def _cancel(self, probe: Message) -> None:
+        self._network.send(
+            Message(
+                kind=MessageKind.CANCEL,
+                src=self.core_id,
+                dst=DIRECTORY,
+                block=probe.block,
+                requester=probe.requester,
+                epoch=probe.epoch,
+                req_id=probe.req_id,
+            )
+        )
+
+    def _ack_inv(self, probe: Message, action: str) -> None:
+        self._network.send(
+            Message(
+                kind=MessageKind.ACK,
+                src=self.core_id,
+                dst=DIRECTORY,
+                block=probe.block,
+                requester=probe.requester,
+                epoch=probe.epoch,
+                req_id=probe.req_id,
+                action=action,
+            )
+        )
+
+    # -- Requester side: responses --------------------------------------
+    def _handle_response(self, msg: Message) -> None:
+        if msg.src == DIRECTORY and msg.kind in (
+            MessageKind.DATA,
+            MessageKind.DATA_E,
+        ):
+            # Directory-sourced grants keep the block busy until this
+            # acknowledgement — sent unconditionally, even for responses
+            # addressed to a rolled-back attempt.
+            self._network.send(
+                Message(
+                    kind=MessageKind.UNBLOCK,
+                    src=self.core_id,
+                    dst=DIRECTORY,
+                    block=msg.block,
+                    action="recv",
+                )
+            )
+        out = self._outstanding.pop(msg.req_id, None)
+        if out is None:
+            return  # duplicate response (e.g. two refusing sharers)
+        if out.transactional:
+            tx = self._tx()
+            if tx is None or tx.epoch != out.epoch:
+                # Response to a rolled-back attempt.  The sender may have
+                # recorded us as owner/sharer, but we will not install the
+                # line — drop any older cached copy too, so no read can hit
+                # a line the directory no longer associates with us (the
+                # next probe heals the directory via 'not_present').
+                if msg.kind in (MessageKind.DATA, MessageKind.DATA_E):
+                    self.cache.invalidate(msg.block)
+                if (
+                    msg.kind is MessageKind.DATA_E
+                    and tx is not None
+                    and (tx.reads(msg.block) or tx.writes(msg.block))
+                ):
+                    # The stale exclusive grant erased our sharer record at
+                    # the directory, so invalidations for this block will
+                    # no longer reach us — yet the *current* attempt has
+                    # already read it.  Its isolation can no longer be
+                    # policed; it must roll back.
+                    self.core.abort_tx(AbortReason.CONFLICT)
+                return
+            if out.is_validation:
+                self._complete_validation(tx, out, msg)
+            else:
+                self._complete_tx_request(tx, out, msg)
+        else:
+            self._complete_nontx_request(out, msg)
+
+    def _complete_tx_request(
+        self, tx: TxState, out: _Outstanding, msg: Message
+    ) -> None:
+        if msg.kind is MessageKind.NACK:
+            # Requester-stall: retry the access later (Power/LEVC holders).
+            self._engine.schedule(
+                self._htm.nack_retry_delay, self._retry_tx_request, tx.epoch, out
+            )
+            return
+        if msg.kind is MessageKind.SPEC_RESP:
+            self._consume_spec_resp(tx, out, msg)
+            return
+        # Ordinary data response.
+        state = "E" if msg.kind is MessageKind.DATA_E else "S"
+        if out.exclusive:
+            state = "M"
+        if not self._install(out.block, state, speculative=out.exclusive):
+            return  # capacity abort killed the attempt
+        assert out.on_value is not None
+        out.on_value(tx.store.read_word(out.addr))
+
+    def _retry_tx_request(self, epoch: int, out: _Outstanding) -> None:
+        tx = self._tx()
+        if tx is None or tx.epoch != epoch:
+            return
+        kind = MessageKind.GETX if out.exclusive else MessageKind.GETS
+        self._send_request(kind, out.block, out)
+
+    def _consume_spec_resp(
+        self, tx: TxState, out: _Outstanding, msg: Message
+    ) -> None:
+        """Accept speculative data: VSB copy, cache insert into the write
+        set, PiC adoption (Sections III-A and IV-A)."""
+        assert msg.data is not None
+        if not tx.vsb.insert(out.block, msg.data):
+            # VSB full (a race slipped past the can_consume advertisement):
+            # we cannot use the hint; retry the plain request later.
+            self._engine.schedule(
+                self._htm.nack_retry_delay, self._retry_tx_request, tx.epoch, out
+            )
+            return
+        tx.store.install_received_block(out.block, msg.data)
+        tx.track_write(out.block)
+        tx.mark_consumed()
+        tx.pic.adopt_from_spec_resp(msg.pic)
+        if not self._install(
+            out.block, "M", speculative=True, spec_received=True
+        ):
+            return  # capacity abort
+        self.core.validation.arm(tx)
+        assert out.on_value is not None
+        out.on_value(tx.store.read_word(out.addr))
+
+    def _complete_validation(
+        self, tx: TxState, out: _Outstanding, msg: Message
+    ) -> None:
+        if msg.kind is MessageKind.DATA_E:
+            # We are now the genuine owner of the block.
+            line = self.cache.peek(out.block)
+            if line is not None:
+                line.state = "M"
+                line.spec_received = False
+            else:
+                # The line must still be cached (it is SM write-set data);
+                # a missing line means the attempt already died.
+                return
+        assert out.on_message is not None
+        out.on_message(msg)
+
+    def _complete_nontx_request(self, out: _Outstanding, msg: Message) -> None:
+        if msg.kind is MessageKind.NACK:
+            self._engine.schedule(
+                self._htm.nack_retry_delay, self._retry_nontx_request, out
+            )
+            return
+        if msg.kind is MessageKind.SPEC_RESP:  # pragma: no cover - forbidden
+            raise RuntimeError("speculative response to a non-transactional request")
+        result = 0
+        if out.cas is not None:
+            expect, new = out.cas
+            result = self._memory.read_word(out.addr)
+            if result == expect:
+                self._memory.write_word(out.addr, new)
+            self._install(out.block, "M")
+        elif out.write_value is not None:
+            self._memory.write_word(out.addr, out.write_value)
+            self._install(out.block, "M")
+        else:
+            result = self._memory.read_word(out.addr)
+            self._install(out.block, "E" if msg.kind is MessageKind.DATA_E else "S")
+        assert out.on_value is not None
+        out.on_value(result)
+
+    def _retry_nontx_request(self, out: _Outstanding) -> None:
+        kind = MessageKind.GETX if out.exclusive else MessageKind.GETS
+        self._send_request(kind, out.block, out, non_transactional=True)

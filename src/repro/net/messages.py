@@ -1,0 +1,102 @@
+"""Coherence message taxonomy and flit accounting.
+
+The simplified MESI protocol exchanges the message kinds below.  For
+Fig. 7 the only property that matters is whether a message carries a data
+payload (5 flits at 16-byte flits for a 64-byte line plus header) or is
+control-only (1 flit), mirroring Table I.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class MessageKind(Enum):
+    # Requests (core → directory).
+    GETS = "GETS"  # read permission
+    GETX = "GETX"  # exclusive / write permission
+    UPGRADE = "UPGRADE"  # S → M without data
+    # Directory → owner/sharers.
+    FWD_GETS = "FwdGETS"
+    FWD_GETX = "FwdGETX"
+    INV = "Inv"
+    # Responses.
+    DATA = "Data"  # data, shared permission
+    DATA_E = "DataE"  # data, exclusive permission
+    SPEC_RESP = "SpecResp"  # speculative data hint, no permission (CHATS)
+    NACK = "Nack"  # negative response, no data (PowerTM holder)
+    ACK = "Ack"  # invalidation acknowledgement
+    # Core → directory notifications.
+    CANCEL = "Cancel"  # request cancelled after SpecResp (unblock)
+    UNBLOCK = "Unblock"  # request completed
+    WRITEBACK = "Writeback"  # eviction of an owned block
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (
+            MessageKind.DATA,
+            MessageKind.DATA_E,
+            MessageKind.SPEC_RESP,
+            MessageKind.WRITEBACK,
+        )
+
+
+#: Node id of the directory in message src/dst fields.
+DIRECTORY = -1
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One message on the interconnect.
+
+    ``pic`` carries the sender's Position-in-Chain at *send* time (stale by
+    delivery time if the sender changed it meanwhile — deliberately so, per
+    Section IV-C).  ``power`` marks messages from an elevated-priority
+    transaction.  ``epoch`` tags the requester's transaction attempt so that
+    responses to a dead attempt can be recognised and dropped.  ``req_id``
+    threads a response back to the request that caused it.
+    """
+
+    kind: MessageKind
+    src: int
+    dst: int
+    block: int
+    data: Optional[Tuple[int, ...]] = None
+    requester: Optional[int] = None
+    exclusive: bool = False
+    pic: Optional[int] = None
+    power: bool = False
+    timestamp: Optional[int] = None
+    epoch: int = 0
+    req_id: int = 0
+    can_consume: bool = True
+    is_validation: bool = False
+    non_transactional: bool = False
+    # LEVC-BE-Idealized: requester chain-endpoint flags (idealized — carried
+    # on every request at no cost, like its ideal timestamps).
+    req_produced: bool = False
+    req_consumed: bool = False
+    # UNBLOCK sub-action from a probed cache back to the directory:
+    # 'xfer' (ownership moved to requester), 'downgrade' (owner became
+    # sharer), 'aborted' (holder aborted; supply memory data),
+    # 'not_present' (stale owner; supply memory data).
+    action: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def flits(self) -> int:
+        # Resolved by the network against its configured flit counts; this
+        # property only distinguishes the payload class.
+        return 5 if self.kind.carries_data else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.kind.value} {self.src}->{self.dst} blk={self.block:#x}"
+            f"{' V' if self.is_validation else ''}"
+            f"{' P' if self.power else ''} e{self.epoch}>"
+        )

@@ -1,0 +1,63 @@
+"""Crossbar interconnect model.
+
+The paper's machine uses a single-cycle crossbar (Table I).  We model it as
+a fixed per-hop latency and count flits per message class for Fig. 7.  The
+network never reorders messages between the same (src, dst) pair: ties in
+delivery time are broken by send order via the engine's FIFO tie-break.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict
+
+from ..sim.config import SystemConfig
+from ..sim.engine import Engine
+from .messages import Message, MessageKind
+
+
+class Crossbar:
+    """Delivers messages after ``link_latency`` cycles and accounts flits."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: SystemConfig,
+        deliver: Callable[[Message], None],
+    ):
+        self._engine = engine
+        self._config = config
+        self._deliver = deliver
+        self.flits_sent: int = 0
+        self.messages_sent: int = 0
+        self.flits_by_kind: Counter = Counter()
+
+    def send(self, msg: Message, *, extra_delay: int = 0) -> None:
+        """Inject ``msg``; it is delivered after the link latency."""
+        flits = (
+            self._config.data_message_flits
+            if msg.kind.carries_data
+            else self._config.control_message_flits
+        )
+        self.flits_sent += flits
+        self.messages_sent += 1
+        self.flits_by_kind[msg.kind] += flits
+        delay = self._config.link_latency + extra_delay
+        self._engine.schedule(delay, self._deliver, msg)
+
+    def stats(self) -> Dict[str, int]:
+        validation_kinds = (MessageKind.GETX, MessageKind.SPEC_RESP)
+        return {
+            "flits": self.flits_sent,
+            "messages": self.messages_sent,
+            "data_flits": sum(
+                n for kind, n in self.flits_by_kind.items() if kind.carries_data
+            ),
+            "control_flits": sum(
+                n for kind, n in self.flits_by_kind.items() if not kind.carries_data
+            ),
+            "spec_resp_flits": self.flits_by_kind.get(MessageKind.SPEC_RESP, 0),
+            "_validation_kinds": sum(
+                self.flits_by_kind.get(kind, 0) for kind in validation_kinds
+            ),
+        }

@@ -1,0 +1,248 @@
+"""System and HTM configuration dataclasses.
+
+``SystemConfig`` mirrors Table I of the paper (the machine model) and
+``HTMConfig`` mirrors Table II (the per-system HTM parameters).  Both are
+plain frozen dataclasses so that experiment definitions can be hashed and
+cached by the experiment runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class ForwardClass(Enum):
+    """Which blocks are eligible for speculative forwarding (Section VI-D).
+
+    * ``RW`` — *Forward all*: read-set and write-set blocks.
+    * ``W`` — *Forward written*: write-set blocks only.
+    * ``R_RESTRICT_W`` — read and write-set blocks, but a heuristic refuses
+      to forward blocks with an in-flight local write (the paper's best
+      configuration, used by CHATS and PCHATS in the main evaluation).
+    """
+
+    RW = "R/W"
+    W = "W"
+    R_RESTRICT_W = "Rrestrict/W"
+
+
+class SystemKind(Enum):
+    """The six HTM systems evaluated in the paper (Section VI-B)."""
+
+    BASELINE = "baseline"
+    NAIVE_RS = "naive-rs"
+    CHATS = "chats"
+    POWER = "power"
+    PCHATS = "pchats"
+    LEVC = "levc-be-idealized"
+
+    @property
+    def forwards(self) -> bool:
+        """Whether this system ever sends speculative responses."""
+        return self in (
+            SystemKind.NAIVE_RS,
+            SystemKind.CHATS,
+            SystemKind.PCHATS,
+            SystemKind.LEVC,
+        )
+
+    @property
+    def powered(self) -> bool:
+        """Whether this system uses the PowerTM elevated-priority token."""
+        return self in (SystemKind.POWER, SystemKind.PCHATS)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Machine model parameters (Table I), scaled to the simulator.
+
+    Latencies are expressed in simulated cycles.  The defaults follow the
+    Golden-Cove-like setup of the paper: 16 cores, 48KiB/12-way L1D with
+    1-cycle hits, private L2 (4-cycle roundtrip), shared L3 (30-cycle
+    roundtrip), DDR4 memory, and a single-cycle crossbar with 16-byte flits
+    (5 flits per data message, 1 per control message).
+    """
+
+    num_cores: int = 16
+
+    # Geometry.
+    block_bytes: int = 64
+    word_bytes: int = 8
+    l1_size_bytes: int = 48 * 1024
+    l1_ways: int = 12
+
+    # Latencies (cycles).
+    l1_hit_latency: int = 1
+    l2_roundtrip: int = 4
+    l3_roundtrip: int = 30
+    memory_latency: int = 120
+    link_latency: int = 1
+    # The directory is co-located with the shared L3 (Table I): reaching
+    # it costs an L2 miss plus the L3 lookup, so probes it forwards to
+    # other cores arrive tens of cycles after the request was issued —
+    # long after a short store burst at the owner has finished.
+    directory_latency: int = 18
+
+    # Network accounting.
+    flit_bytes: int = 16
+    data_message_flits: int = 5
+    control_message_flits: int = 1
+
+    # Base of the randomised exponential backoff between transaction
+    # retries (cycles), as in RTM runtime retry loops.
+    retry_backoff_base: int = 40
+
+    # Ablation switch (Section V-A discussion): when True the L1 victim
+    # selection avoids speculative (write-set) lines; when False plain LRU
+    # applies and evicting an SM line costs a capacity abort.
+    write_set_aware_replacement: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if self.block_bytes % self.word_bytes:
+            raise ValueError("block size must be a multiple of the word size")
+        lines = self.l1_size_bytes // self.block_bytes
+        if lines % self.l1_ways:
+            raise ValueError("L1 lines must divide evenly into ways")
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_bytes // self.word_bytes
+
+    @property
+    def l1_lines(self) -> int:
+        return self.l1_size_bytes // self.block_bytes
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_lines // self.l1_ways
+
+
+#: Value used by Table II for fields that do not apply to a system.
+NOT_APPLICABLE = None
+
+
+@dataclass(frozen=True)
+class HTMConfig:
+    """Per-system HTM parameters (Table II).
+
+    ``retries`` is the number of conflict-induced aborts tolerated before
+    the fallback path is taken.  ``vsb_size`` and ``validation_interval``
+    only apply to forwarding systems.  ``pic_bits`` sizes the Position in
+    Chain register (CHATS/PCHATS); ``naive_validation_budget`` sizes the
+    naive requester-speculates escape counter (4 bits → 16 attempts).
+    """
+
+    system: SystemKind = SystemKind.BASELINE
+    retries: int = 6
+    forward_class: ForwardClass | None = None
+    vsb_size: int | None = None
+    validation_interval: int | None = None
+    pic_bits: int = 5
+    naive_validation_budget: int = 16
+    # Power systems: aborts before requesting the power token.
+    power_threshold: int = 2
+    # Requester-stall systems (Power holder nacks, LEVC): cycles a nacked
+    # requester waits before re-issuing its request.
+    nack_retry_delay: int = 50
+    # Ablation switch: the validation-time PiC comparison that catches
+    # cycles created by stale PiC exchanges (Section IV-B).  When off,
+    # consumers stuck in an undetected cycle escape through the
+    # unsuccessful-validation budget instead (slower livelock recovery).
+    validation_pic_check: bool = True
+    # Read-set signature: None reproduces the paper's *perfect* signature
+    # (Section VI-B); an integer selects a Bloom filter of that many bits,
+    # whose false positives surface as spurious conflicts — an ablation of
+    # the perfect-signature assumption.
+    signature_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.system.forwards:
+            if self.vsb_size is None or self.vsb_size < 1:
+                raise ValueError(f"{self.system} requires a positive VSB size")
+            if self.validation_interval is None or self.validation_interval < 0:
+                raise ValueError(
+                    f"{self.system} requires a validation interval >= 0"
+                )
+            if self.forward_class is None:
+                raise ValueError(f"{self.system} requires a forward class")
+        if self.pic_bits < 2:
+            raise ValueError("PiC needs at least 2 bits")
+
+    @property
+    def pic_limit(self) -> int:
+        """Exclusive upper bound of the PiC range (2**bits values, one of
+        which — the all-ones pattern — is reserved to encode the unset
+        PiC)."""
+        return (1 << self.pic_bits) - 1
+
+    @property
+    def pic_init(self) -> int:
+        """Initial PiC, in the middle of the range to allow chains to grow
+        from either end (Section IV-C)."""
+        return self.pic_limit // 2
+
+    def replace(self, **changes: object) -> "HTMConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def table2_config(system: SystemKind) -> HTMConfig:
+    """Return the optimal Table II configuration for ``system``.
+
+    These are the paper's best cost-effective values: Baseline retries=6;
+    Naive R-S retries=2, VSB=4, 50-cycle validation; CHATS retries=32,
+    VSB=4, 50-cycle validation; Power retries=2; PCHATS retries=1;
+    LEVC-BE-Idealized retries=64 with a 0-cycle validation interval.
+    """
+    table = {
+        SystemKind.BASELINE: HTMConfig(system=SystemKind.BASELINE, retries=6),
+        SystemKind.NAIVE_RS: HTMConfig(
+            system=SystemKind.NAIVE_RS,
+            retries=2,
+            forward_class=ForwardClass.R_RESTRICT_W,
+            vsb_size=4,
+            validation_interval=50,
+        ),
+        SystemKind.CHATS: HTMConfig(
+            system=SystemKind.CHATS,
+            retries=32,
+            forward_class=ForwardClass.R_RESTRICT_W,
+            vsb_size=4,
+            validation_interval=50,
+        ),
+        SystemKind.POWER: HTMConfig(system=SystemKind.POWER, retries=2),
+        SystemKind.PCHATS: HTMConfig(
+            system=SystemKind.PCHATS,
+            retries=1,
+            forward_class=ForwardClass.R_RESTRICT_W,
+            vsb_size=4,
+            validation_interval=50,
+        ),
+        SystemKind.LEVC: HTMConfig(
+            system=SystemKind.LEVC,
+            retries=64,
+            forward_class=ForwardClass.R_RESTRICT_W,
+            vsb_size=4,
+            validation_interval=0,
+        ),
+    }
+    return table[system]
+
+
+def all_system_kinds() -> tuple[SystemKind, ...]:
+    """The six systems in the paper's presentation order."""
+    return (
+        SystemKind.BASELINE,
+        SystemKind.NAIVE_RS,
+        SystemKind.CHATS,
+        SystemKind.POWER,
+        SystemKind.PCHATS,
+        SystemKind.LEVC,
+    )

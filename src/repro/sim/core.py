@@ -1,0 +1,375 @@
+"""Core driver: executes one workload thread against the simulated machine.
+
+The driver advances the thread's generator coroutine op by op.  Plain ops
+run non-transactionally; a :class:`~repro.sim.ops.Txn` marker enters the
+transaction state machine:
+
+1. *Eager lock subscription* — the fallback lock word is read
+   transactionally at begin, so the acquiring store of a fallback-path
+   thread aborts every running transaction (Section V-C).
+2. The body generator is driven with transactional semantics; every abort
+   (conflict, validation, cycle, capacity, lock) restarts it from scratch
+   with a fresh epoch after a linear backoff.
+3. After ``retries`` conflict-induced aborts the fallback engages: PowerTM
+   systems request the (single) power token and re-execute with elevated
+   priority; other systems — and power transactions that keep failing —
+   serialize under the global lock and run the body non-speculatively.
+4. Commit waits for the VSB to drain (Section III-A) and then publishes
+   the write set atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..core.validation import ValidationController
+from ..htm.fallback import LOCK_FREE, LOCK_HELD
+from ..htm.stats import AbortReason, AttemptOutcome
+from ..htm.txstate import TxState, TxStatus
+from .ops import Abort, AtomicCAS, Read, Txn, Work, Write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+#: Attempts a power transaction gets before it gives up the token and
+#: serializes under the global lock (capacity aborts can be persistent).
+POWER_MAX_ATTEMPTS = 4
+
+#: Delay between polls while spinning on a held fallback lock.
+LOCK_SPIN_DELAY = 60
+
+
+class Core:
+    """One simulated core running one workload thread."""
+
+    def __init__(self, core_id: int, sim: "Simulator"):
+        self.core_id = core_id
+        self.sim = sim
+        self.engine = sim.engine
+        self.htm = sim.htm
+        self.policy = sim.policy
+        self.stats = sim.stats
+        self.l1 = sim.l1s[core_id]
+        self.validation = ValidationController(self)
+
+        self.tx: Optional[TxState] = None
+        self._epoch = 0
+        self._thread: Optional[Generator] = None
+        self.done = False
+
+        # Per-Txn-instance state.
+        self._txn: Optional[Txn] = None
+        self._tgen: Optional[Generator] = None
+        self._conflict_aborts = 0
+        self._attempts = 0
+        self._power = False
+        self._power_attempts = 0
+        self._levc_timestamp: Optional[int] = None
+        self._in_fallback = False
+        # Blocks written by earlier aborted attempts of the current Txn:
+        # the hardware analogue is a store-address predictor.  Feeds the
+        # Rrestrict/W "in-flight write" heuristic — a block this attempt
+        # has read but a previous attempt wrote is about to be invalidated
+        # by a local store, so forwarding it would hand out poison.
+        self._write_history: set = set()
+
+    # ------------------------------------------------------------------
+    # Thread-level execution.
+    # ------------------------------------------------------------------
+    def start(self, thread: Generator) -> None:
+        self._thread = thread
+        self.engine.schedule(0, self._advance_thread, None)
+
+    def _advance_thread(self, send_value: Any) -> None:
+        assert self._thread is not None
+        try:
+            op = self._thread.send(send_value)
+        except StopIteration:
+            self.done = True
+            self.sim.core_finished(self.core_id)
+            return
+        if isinstance(op, Txn):
+            self._start_txn(op)
+        elif isinstance(op, Read):
+            self.l1.nontx_read(op.addr, self._advance_thread)
+        elif isinstance(op, Write):
+            self.l1.nontx_write(op.addr, op.value, lambda _v: self._advance_thread(None))
+        elif isinstance(op, AtomicCAS):
+            self.l1.nontx_cas(op.addr, op.expect, op.new, self._advance_thread)
+        elif isinstance(op, Work):
+            self.engine.schedule(max(1, op.cycles), self._advance_thread, None)
+        else:
+            raise TypeError(f"thread yielded unsupported op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle.
+    # ------------------------------------------------------------------
+    def _start_txn(self, txn: Txn) -> None:
+        self._txn = txn
+        self._conflict_aborts = 0
+        self._attempts = 0
+        self._power = False
+        self._power_attempts = 0
+        self._in_fallback = False
+        self._write_history = set()
+        self._levc_timestamp = self.sim.next_timestamp()
+        self._begin_attempt()
+
+    def _begin_attempt(self) -> None:
+        assert self._txn is not None
+        self._epoch += 1
+        self._attempts += 1
+        self.tx = TxState(
+            core_id=self.core_id,
+            epoch=self._epoch,
+            memory=self.sim.memory,
+            htm=self.htm,
+            power=self._power,
+            timestamp=self._levc_timestamp,
+        )
+        # Eager lock subscription.
+        epoch = self._epoch
+        self.l1.tx_read(
+            self.tx, self.sim.lock.addr, lambda v: self._after_subscribe(epoch, v)
+        )
+
+    def _after_subscribe(self, epoch: int, lock_value: int) -> None:
+        tx = self.tx
+        if tx is None or not tx.active or tx.epoch != epoch:
+            return
+        if lock_value != LOCK_FREE:
+            # Lock held: quietly roll back and spin until released.
+            self._quiet_rollback()
+            self.engine.schedule(LOCK_SPIN_DELAY, self._wait_for_lock_free)
+            return
+        assert self._txn is not None
+        self.stats.tx_attempts += 1
+        self._tgen = self._txn.body(*self._txn.args)
+        self._advance_tx(epoch, None)
+
+    def _quiet_rollback(self) -> None:
+        """Roll back an attempt that never ran user code (lock was held)."""
+        tx = self.tx
+        assert tx is not None
+        tx.begin_abort(AbortReason.EXPLICIT)
+        self.l1.cache.gang_invalidate_speculative()
+        tx.finish_abort()
+        self.validation.cancel()
+        self.tx = None
+        self._tgen = None
+
+    def _wait_for_lock_free(self) -> None:
+        self.l1.nontx_read(self.sim.lock.addr, self._lock_poll_result)
+
+    def _lock_poll_result(self, value: int) -> None:
+        if value == LOCK_FREE:
+            self._begin_attempt()
+        else:
+            self.engine.schedule(LOCK_SPIN_DELAY, self._wait_for_lock_free)
+
+    def _advance_tx(self, epoch: int, send_value: Any) -> None:
+        tx = self.tx
+        if tx is None or not tx.active or tx.epoch != epoch:
+            return
+        assert self._tgen is not None
+        try:
+            op = self._tgen.send(send_value)
+        except StopIteration as stop:
+            self._try_commit(stop.value)
+            return
+        if isinstance(op, Read):
+            self.l1.tx_read(tx, op.addr, lambda v: self._advance_tx(epoch, v))
+        elif isinstance(op, Write):
+            self.l1.tx_write(
+                tx, op.addr, op.value, lambda _v: self._advance_tx(epoch, None)
+            )
+        elif isinstance(op, Work):
+            self.engine.schedule(
+                max(1, op.cycles), self._advance_tx, epoch, None
+            )
+        elif isinstance(op, Abort):
+            self._explicit_abort(op)
+        else:
+            raise TypeError(f"transaction yielded unsupported op {op!r}")
+
+    def _explicit_abort(self, op: Abort) -> None:
+        if op.no_retry:
+            self._conflict_aborts = self.htm.retries + 1
+        self.abort_tx(AbortReason.EXPLICIT)
+
+    # ------------------------------------------------------------------
+    # Commit.
+    # ------------------------------------------------------------------
+    def _try_commit(self, result: Any) -> None:
+        tx = self.tx
+        assert tx is not None
+        self._tx_result = result
+        if tx.vsb.empty:
+            self._do_commit()
+        else:
+            # Section III-A: commit is fenced until every speculatively
+            # received block has been validated.
+            tx.commit_pending = True
+
+    def finish_pending_commit(self) -> None:
+        tx = self.tx
+        if tx is not None and tx.active and tx.commit_pending:
+            tx.commit_pending = False
+            self._do_commit()
+
+    def _do_commit(self) -> None:
+        tx = self.tx
+        assert tx is not None and tx.active
+        tx.record.outcome = AttemptOutcome.COMMITTED
+        self.stats.record_attempt(tx.record)
+        tx.commit()
+        self.l1.cache.clear_speculative_marks()
+        self.validation.cancel()
+        self.stats.tx_commits += 1
+        if self._txn is not None:
+            self.stats.label_commits[self._txn.label] += 1
+        if self._power:
+            self.stats.power_commits += 1
+            self.sim.power.release(self.core_id)
+            self._power = False
+        self.tx = None
+        self._tgen = None
+        self._txn = None
+        self.engine.schedule(1, self._advance_thread, self._tx_result)
+
+    # ------------------------------------------------------------------
+    # Abort (called by the L1 controller, validation controller, or self).
+    # ------------------------------------------------------------------
+    def abort_tx(self, reason: AbortReason) -> None:
+        tx = self.tx
+        if tx is None or not tx.active:
+            return
+        tx.begin_abort(reason)
+        self._write_history |= tx.write_set
+        tx.record.outcome = AttemptOutcome.ABORTED
+        tx.record.reason = reason
+        self.stats.record_attempt(tx.record)
+        self.stats.aborts[reason] += 1
+        if self._txn is not None:
+            self.stats.label_aborts[self._txn.label] += 1
+        self.l1.cache.gang_invalidate_speculative()
+        tx.finish_abort()
+        self.validation.cancel()
+        self.tx = None
+        self._tgen = None
+        if reason.conflict_induced or reason is AbortReason.EXPLICIT:
+            # Conflict-induced aborts drive the paper's thresholds;
+            # explicit (_xabort-style) aborts burn retry budget too, as in
+            # RTM runtimes.
+            self._conflict_aborts += 1
+        if self._power:
+            self._power_attempts += 1
+            if self._power_attempts >= POWER_MAX_ATTEMPTS:
+                self.sim.power.release(self.core_id)
+                self._power = False
+                self.engine.schedule(1, self._acquire_global_lock)
+                return
+            self.engine.schedule(self._backoff(), self._begin_attempt)
+            return
+        if reason is AbortReason.CAPACITY:
+            # The RTM abort code would carry "retry not helpful": a
+            # transaction that overflows the L1 will overflow it again, so
+            # the runtime serializes immediately.
+            self.engine.schedule(1, self._enter_fallback)
+            return
+        if self._conflict_aborts > self.htm.retries:
+            self.engine.schedule(1, self._enter_fallback)
+            return
+        self.engine.schedule(self._backoff(), self._begin_attempt)
+
+    def write_predicted(self, block: int) -> bool:
+        """Whether a local store to ``block`` is expected shortly (it was
+        in the write set of an earlier attempt of the same transaction)."""
+        return block in self._write_history
+
+    def _backoff(self) -> int:
+        """Randomised exponential backoff (deterministic jitter).
+
+        RTM runtimes back off exponentially between retries so colliding
+        transactions de-synchronise instead of re-aborting each other in
+        lockstep until the fallback threshold.
+        """
+        base = self.sim.config.retry_backoff_base
+        window = base << min(self._attempts, 6)
+        # xorshift-style hash of (core, attempt, epoch) as jitter source.
+        x = (self.core_id * 2654435761 + self._attempts * 40503 + self._epoch) & 0xFFFFFFFF
+        x ^= x >> 13
+        x = (x * 0x5BD1E995) & 0xFFFFFFFF
+        x ^= x >> 15
+        return base + (x % max(1, window))
+
+    # ------------------------------------------------------------------
+    # Fallback paths.
+    # ------------------------------------------------------------------
+    def _enter_fallback(self) -> None:
+        if self.htm.system.powered:
+            self.sim.power.request(self.core_id, self._power_granted)
+        else:
+            self._acquire_global_lock()
+
+    def _power_granted(self) -> None:
+        self._power = True
+        self._power_attempts = 0
+        self.engine.schedule(1, self._begin_attempt)
+
+    def _acquire_global_lock(self) -> None:
+        self.l1.nontx_cas(
+            self.sim.lock.addr, LOCK_FREE, LOCK_HELD, self._lock_cas_result
+        )
+
+    def _lock_cas_result(self, observed: int) -> None:
+        if observed == LOCK_FREE:
+            self.sim.lock.acquisitions += 1
+            self._run_fallback_body()
+        else:
+            self.sim.lock.failed_cas += 1
+            self.engine.schedule(LOCK_SPIN_DELAY, self._acquire_global_lock)
+
+    def _run_fallback_body(self) -> None:
+        assert self._txn is not None
+        self._in_fallback = True
+        self._tgen = self._txn.body(*self._txn.args)
+        self._advance_fallback(None)
+
+    def _advance_fallback(self, send_value: Any) -> None:
+        assert self._tgen is not None
+        try:
+            op = self._tgen.send(send_value)
+        except StopIteration as stop:
+            self._finish_fallback(stop.value)
+            return
+        if isinstance(op, Read):
+            self.l1.nontx_read(op.addr, self._advance_fallback)
+        elif isinstance(op, Write):
+            self.l1.nontx_write(
+                op.addr, op.value, lambda _v: self._advance_fallback(None)
+            )
+        elif isinstance(op, Work):
+            self.engine.schedule(max(1, op.cycles), self._advance_fallback, None)
+        elif isinstance(op, Abort):
+            # An explicit abort under the lock restarts the body (the lock
+            # is still held, so this cannot livelock against other cores).
+            self._tgen = self._txn.body(*self._txn.args)
+            self.engine.schedule(1, self._advance_fallback, None)
+        else:
+            raise TypeError(f"fallback body yielded unsupported op {op!r}")
+
+    def _finish_fallback(self, result: Any) -> None:
+        self._in_fallback = False
+        self.stats.tx_fallback_commits += 1
+        if self._txn is not None:
+            self.stats.label_commits[self._txn.label] += 1
+        self._txn = None
+        self._tgen = None
+        # Release the global lock; the releasing store is an ordinary
+        # non-transactional write.
+        self.l1.nontx_write(
+            self.sim.lock.addr,
+            LOCK_FREE,
+            lambda _v: self.engine.schedule(1, self._advance_thread, result),
+        )

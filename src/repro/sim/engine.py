@@ -1,0 +1,91 @@
+"""Discrete-event simulation engine.
+
+A single ``heapq``-backed event queue drives the whole machine.  Events
+scheduled for the same cycle fire in FIFO order (a monotonically increasing
+sequence number breaks ties), which makes every simulation run fully
+deterministic for a given workload seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class CancelToken:
+    """Handle returned by :meth:`Engine.schedule`; lets callers revoke a
+    pending event (used by validation timers and backoff sleeps)."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """Minimal deterministic discrete-event engine."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, CancelToken, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> CancelToken:
+        """Run ``fn(*args)`` after ``delay`` cycles; returns a cancel token."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        token = CancelToken()
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._seq), token, fn, args)
+        )
+        return token
+
+    def schedule_at(self, cycle: int, fn: Callable, *args: Any) -> CancelToken:
+        """Run ``fn(*args)`` at absolute ``cycle``."""
+        return self.schedule(cycle - self._now, fn, *args)
+
+    def step(self) -> bool:
+        """Process one event.  Returns False when the queue is empty."""
+        while self._queue:
+            when, _seq, token, fn, args = heapq.heappop(self._queue)
+            if token.cancelled:
+                continue
+            self._now = when
+            self.events_processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, *, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue.
+
+        ``until`` bounds simulated time; ``max_events`` bounds host work
+        (a deadlock/livelock backstop for tests).  Returns the final cycle.
+        """
+        processed = 0
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"engine exceeded {max_events} events at cycle {self._now}; "
+                    "likely livelock in the simulated machine"
+                )
+            if self.step():
+                processed += 1
+        return self._now
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)

@@ -1,0 +1,133 @@
+"""Runtime invariant checking for the simulated machine.
+
+``check_invariants`` can be called at any cycle of a running simulation —
+it is scheduled periodically by the stress tests and callable from a
+debugger.  The invariants are chosen to hold even while requests are in
+flight:
+
+* **Single writable copy** — at most one L1 holds a genuinely-owned
+  (E/M, not speculatively received) line per block.  CHATS deliberately
+  relaxes SWMR *reads* (consumers hold speculative copies), but a second
+  writable copy would break coherence outright.
+* **Spec copies are accounted** — every ``spec_received`` line belongs to
+  the core's active transaction, is in its write set, and has a matching
+  VSB entry holding the pristine copy.
+* **Cons bit discipline** — a set Cons bit implies unvalidated entries in
+  the VSB (the bit clears exactly when the VSB drains, Section IV-B).
+* **SM lines belong to live transactions** — no speculative line may
+  exist on a core without an active transaction attempt.
+* **Power singleton** — at most one elevated transaction system-wide.
+
+Quiescent-only invariants (queue empty, lock free, directory idle) are
+checked separately by :func:`check_quiescent` after a run completes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class InvariantViolation(AssertionError):
+    """A machine invariant failed; the message names the culprit."""
+
+
+def check_invariants(sim) -> None:
+    """Validate cross-component invariants of a (possibly mid-run)
+    simulation.  Raises :class:`InvariantViolation` on failure."""
+    _check_single_writable_copy(sim)
+    _check_speculative_accounting(sim)
+    _check_power_singleton(sim)
+
+
+def _check_single_writable_copy(sim) -> None:
+    owners: dict = {}
+    for l1 in sim.l1s:
+        for cset in l1.cache._sets:
+            for line in cset.values():
+                if line.state in ("E", "M") and not line.spec_received:
+                    previous = owners.get(line.block)
+                    if previous is not None:
+                        raise InvariantViolation(
+                            f"block {line.block:#x} writable in both core "
+                            f"{previous} and core {l1.core_id}"
+                        )
+                    owners[line.block] = l1.core_id
+
+
+def _check_speculative_accounting(sim) -> None:
+    for core in sim.cores:
+        l1 = core.l1
+        tx = core.tx
+        spec_lines = l1.cache.speculative_blocks()
+        if spec_lines and (tx is None or not tx.active):
+            raise InvariantViolation(
+                f"core {core.core_id} holds SM lines {spec_lines} with no "
+                "active transaction"
+            )
+        if tx is None or not tx.active:
+            continue
+        for cset in l1.cache._sets:
+            for line in cset.values():
+                if not line.spec_received:
+                    continue
+                if not tx.writes(line.block):
+                    raise InvariantViolation(
+                        f"core {core.core_id}: spec-received block "
+                        f"{line.block:#x} missing from the write set"
+                    )
+                if not tx.vsb.contains(line.block):
+                    raise InvariantViolation(
+                        f"core {core.core_id}: spec-received block "
+                        f"{line.block:#x} has no VSB entry"
+                    )
+        if tx.pic.cons and tx.vsb.empty:
+            raise InvariantViolation(
+                f"core {core.core_id}: Cons bit set with an empty VSB"
+            )
+        for block in tx.vsb.blocks():
+            if not tx.writes(block):
+                raise InvariantViolation(
+                    f"core {core.core_id}: VSB block {block:#x} not in the "
+                    "write set"
+                )
+
+
+def _check_power_singleton(sim) -> None:
+    elevated: List[int] = [
+        core.core_id
+        for core in sim.cores
+        if core.tx is not None and core.tx.active and core.tx.power
+    ]
+    if len(elevated) > 1:
+        raise InvariantViolation(f"multiple power transactions: {elevated}")
+    if elevated and sim.power.holder != elevated[0]:
+        raise InvariantViolation(
+            f"core {elevated[0]} runs elevated without holding the token "
+            f"(holder={sim.power.holder})"
+        )
+
+
+def check_quiescent(sim) -> None:
+    """Validate end-of-run invariants: the machine must be fully idle."""
+    for core in sim.cores:
+        if core.tx is not None:
+            raise InvariantViolation(
+                f"core {core.core_id} still has a transaction after the run"
+            )
+        if core.l1._outstanding:
+            raise InvariantViolation(
+                f"core {core.core_id} has dangling coherence requests"
+            )
+        if core.l1.cache.speculative_blocks():
+            raise InvariantViolation(
+                f"core {core.core_id} retired with SM lines cached"
+            )
+    for block, entry in sim.directory._blocks.items():
+        if entry.busy or entry.queue or entry.inv_round is not None:
+            raise InvariantViolation(
+                f"directory block {block:#x} not quiescent"
+            )
+    if sim.power.holder is not None:
+        raise InvariantViolation("power token never released")
+    if sim.memory.read_word(sim.lock.addr) != 0:
+        raise InvariantViolation("fallback lock left held")

@@ -1,0 +1,87 @@
+"""Operation protocol yielded by workload coroutines.
+
+Workload threads and transaction bodies are Python generator functions.
+They ``yield`` the operations below; the core driver performs each one
+against the simulated machine and ``send()``s the result (the value for
+reads, None otherwise) back into the generator.  Because a transaction body
+is just a generator *function*, an aborted attempt restarts by
+instantiating a fresh generator — re-executing the body with the values it
+observes on the new attempt, exactly like re-running the instructions after
+a hardware rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class Read:
+    """Load the word at ``addr``; the read value is sent back."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store ``value`` to the word at ``addr``."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class AtomicCAS:
+    """Non-transactional compare-and-swap on the word at ``addr``.
+
+    Atomically (at the completion of the exclusive coherence request):
+    if the current value equals ``expect``, store ``new``.  The *observed*
+    value is sent back (CAS succeeded iff it equals ``expect``).  Only
+    valid outside transactions — inside a transaction the whole region is
+    already atomic, so plain Read/Write suffice.
+    """
+
+    addr: int
+    expect: int
+    new: int
+
+
+@dataclass(frozen=True)
+class Work:
+    """Spend ``cycles`` of local computation."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Abort:
+    """Explicitly abort the enclosing transaction (e.g. ``_xabort``).
+
+    The attempt is rolled back and retried like a conflict abort unless
+    ``no_retry`` is set, in which case the transaction proceeds straight to
+    the fallback path.
+    """
+
+    no_retry: bool = False
+
+
+@dataclass(frozen=True)
+class Txn:
+    """Top-level marker: run ``body(ctx, *args)`` as a transaction.
+
+    ``body`` is a generator function; its ``return`` value is sent back to
+    the thread generator once the transaction commits (on the hardware path
+    or the fallback path).
+    """
+
+    body: Callable[..., Any]
+    args: Tuple = field(default_factory=tuple)
+    #: Label for per-transaction-site statistics (optional).
+    label: str = ""
+
+
+#: Union type of everything a transaction body may yield.
+TxOp = (Read, Write, Work, Abort)
+#: Union type of everything a top-level thread may yield.
+ThreadOp = (Read, Write, AtomicCAS, Work, Txn)

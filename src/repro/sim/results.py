@@ -1,0 +1,70 @@
+"""Simulation results bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..htm.stats import HTMStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produces, as consumed by the figures/benches."""
+
+    workload: str
+    system: str
+    cycles: int
+    stats: HTMStats
+    network: Dict[str, int] = field(default_factory=dict)
+    directory: Dict[str, int] = field(default_factory=dict)
+    lock_acquisitions: int = 0
+    power_grants: int = 0
+    events: int = 0
+
+    @property
+    def total_commits(self) -> int:
+        return self.stats.tx_commits + self.stats.tx_fallback_commits
+
+    @property
+    def total_aborts(self) -> int:
+        return self.stats.total_aborts
+
+    @property
+    def flits(self) -> int:
+        return self.network.get("flits", 0)
+
+    @property
+    def abort_ratio(self) -> float:
+        """Aborted attempts per committed transaction."""
+        commits = max(1, self.total_commits)
+        return self.total_aborts / commits
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time ratio baseline/self (>1 means self is faster)."""
+        if self.cycles == 0:
+            raise ValueError("degenerate run with zero cycles")
+        return baseline.cycles / self.cycles
+
+    def normalized_time(self, baseline: "SimulationResult") -> float:
+        """Execution time normalized to ``baseline`` (Fig. 4 convention:
+        lower is better, 1.0 is the baseline)."""
+        if baseline.cycles == 0:
+            raise ValueError("degenerate baseline with zero cycles")
+        return self.cycles / baseline.cycles
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "cycles": self.cycles,
+            "commits": self.total_commits,
+            "hw_commits": self.stats.tx_commits,
+            "fallback_commits": self.stats.tx_fallback_commits,
+            "aborts": self.total_aborts,
+            "abort_breakdown": self.stats.abort_breakdown(),
+            "spec_forwards": self.stats.spec_forwards,
+            "flits": self.flits,
+            "lock_acquisitions": self.lock_acquisitions,
+            "power_grants": self.power_grants,
+        }

@@ -1,0 +1,139 @@
+"""Top-level simulator: wires the machine together and runs a workload."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..core.policies import make_policy
+from ..htm.fallback import FallbackLock
+from ..htm.power import PowerTokenManager
+from ..htm.stats import HTMStats
+from ..mem.directory import Directory
+from ..mem.l1controller import L1Controller
+from ..mem.memory import MainMemory
+from ..net.messages import DIRECTORY, Message
+from ..net.network import Crossbar
+from .config import HTMConfig, SystemConfig, SystemKind, table2_config
+from .core import Core
+from .engine import Engine
+from .results import SimulationResult
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while threads were still unfinished."""
+
+
+class Simulator:
+    """One simulated machine executing one workload under one HTM system."""
+
+    def __init__(
+        self,
+        workload,
+        htm: Optional[HTMConfig] = None,
+        config: Optional[SystemConfig] = None,
+    ):
+        self.workload = workload
+        self.htm = htm if htm is not None else table2_config(SystemKind.BASELINE)
+        self.config = config if config is not None else SystemConfig()
+        if workload.num_threads > self.config.num_cores:
+            raise ValueError(
+                f"workload wants {workload.num_threads} threads but the "
+                f"machine has {self.config.num_cores} cores"
+            )
+
+        self.engine = Engine()
+        self.memory = MainMemory(workload.space.geometry)
+        self.network = Crossbar(self.engine, self.config, self._route)
+        self.directory = Directory(self.engine, self.config, self.memory, self.network)
+        self.policy = make_policy(self.htm)
+        self.power = PowerTokenManager()
+        self.stats = HTMStats()
+        self.lock = FallbackLock(workload.space)
+        lock_block = workload.space.geometry.block_of(self.lock.addr)
+
+        self.l1s: List[L1Controller] = [
+            L1Controller(
+                core_id=i,
+                engine=self.engine,
+                config=self.config,
+                htm=self.htm,
+                geometry=workload.space.geometry,
+                memory=self.memory,
+                network=self.network,
+                policy=self.policy,
+                stats=self.stats,
+                lock_block=lock_block,
+            )
+            for i in range(self.config.num_cores)
+        ]
+        self.cores: List[Core] = [
+            Core(i, self) for i in range(self.config.num_cores)
+        ]
+        for l1, core in zip(self.l1s, self.cores):
+            l1.core = core
+
+        self._timestamps = itertools.count(1)
+        self._finished = 0
+        self._started = 0
+
+        workload.setup(self.memory)
+
+    # ------------------------------------------------------------------
+    def _route(self, msg: Message) -> None:
+        if msg.dst == DIRECTORY:
+            self.directory.handle(msg)
+        else:
+            self.l1s[msg.dst].handle(msg)
+
+    def next_timestamp(self) -> int:
+        """Ideal, never-rolling-over LEVC timestamps (Section VI-B)."""
+        return next(self._timestamps)
+
+    def core_finished(self, core_id: int) -> None:
+        self._finished += 1
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_events: int = 80_000_000) -> SimulationResult:
+        """Execute the workload to completion and collect results."""
+        for tid in range(self.workload.num_threads):
+            self.cores[tid].start(self.workload.thread_body(tid))
+            self._started += 1
+        cycles = self.engine.run(max_events=max_events)
+        if self._finished != self._started:
+            stuck = [c.core_id for c in self.cores if not c.done and c.core_id < self._started]
+            raise DeadlockError(
+                f"simulation wedged at cycle {cycles}: threads {stuck} never "
+                f"finished (lock={self.memory.read_word(self.lock.addr)}, "
+                f"power_holder={self.power.holder})"
+            )
+        self.workload.verify(self.memory)
+        return SimulationResult(
+            workload=self.workload.name,
+            system=self.htm.system.value,
+            cycles=cycles,
+            stats=self.stats,
+            network=self.network.stats(),
+            directory={
+                "requests": self.directory.requests,
+                "forwards": self.directory.forwards,
+                "inv_rounds": self.directory.inv_rounds,
+                "memory_fetches": self.directory.memory_fetches,
+            },
+            lock_acquisitions=self.lock.acquisitions,
+            power_grants=self.power.grants,
+            events=self.engine.events_processed,
+        )
+
+
+def run_simulation(
+    workload,
+    system: SystemKind = SystemKind.BASELINE,
+    *,
+    htm: Optional[HTMConfig] = None,
+    config: Optional[SystemConfig] = None,
+    max_events: int = 80_000_000,
+) -> SimulationResult:
+    """Convenience one-shot: build a simulator for ``system`` and run it."""
+    htm = htm if htm is not None else table2_config(system)
+    return Simulator(workload, htm=htm, config=config).run(max_events=max_events)

@@ -1,0 +1,20 @@
+"""STAMP benchmark re-implementations (Section VI-C).
+
+The suite follows the paper's selection: genome, intruder, kmeans
+(low/high contention), labyrinth, ssca2, vacation, and yada; *bayes* is
+excluded exactly as in the paper (its search algorithm's inherent
+randomness makes run-to-run work vary).
+"""
+
+from __future__ import annotations
+
+
+def register_all() -> None:
+    """Import every STAMP module so its ``@register`` decorators run."""
+    from . import genome  # noqa: F401
+    from . import intruder  # noqa: F401
+    from . import kmeans  # noqa: F401
+    from . import labyrinth  # noqa: F401
+    from . import ssca2  # noqa: F401
+    from . import vacation  # noqa: F401
+    from . import yada  # noqa: F401

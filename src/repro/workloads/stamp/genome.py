@@ -1,0 +1,151 @@
+"""genome — gene sequencing by segment deduplication and overlap matching.
+
+STAMP's genome runs in phases.  Phase 1 deduplicates DNA segments by
+inserting them into a shared hash set (one transaction per segment).
+Phase 2 matches overlapping segments into chains: each thread works
+through its statically partitioned slice of unique segments and appends
+each to the chain it hashes to — a producer-consumer pattern over the
+chain tail pointers ("genome sequencing follows an analogous behaviour of
+producer-consumer dependencies", Section VII).
+
+The chain-tail update is *migratory*: a linking transaction reads the
+tail, replaces it once at the start, and then spends the rest of the
+transaction wiring the overlap links — so by the time a conflicting
+request reaches the owner, the tail block is final and can be forwarded
+safely, which is exactly the pattern CHATS exploits (the paper reports a
+~75% conflict reduction here).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ...mem.memory import MainMemory
+from ...sim.ops import Read, Txn, Work, Write
+from ..base import Workload, register
+from ..structures import NULL, NodePool, SimArray, SimHashTable
+
+
+@register
+class Genome(Workload):
+    name = "genome"
+
+    #: Chains being grown concurrently in phase 2.
+    num_chains = 8
+
+    def __init__(self, *, threads: int = 16, seed: int = 1, scale: float = 1.0):
+        super().__init__(threads=threads, seed=seed, scale=scale)
+        self.segments_per_thread = self.scaled(28)
+        total = threads * self.segments_per_thread
+        # Segment ids drawn with deliberate duplicates (the dedup phase).
+        universe = max(8, (total * 2) // 3)
+        self.segments: List[List[int]] = [
+            [1 + self.rng.randrange(universe) for _ in range(self.segments_per_thread)]
+            for _ in range(threads)
+        ]
+        self.unique_segments = sorted(
+            {s for thread_segs in self.segments for s in thread_segs}
+        )
+
+        pool = NodePool(self.space, total + 16, 3, threads, name="genome-pool")
+        # A generously sized table, as in the original: bucket collisions
+        # between *different* keys are rare; contention comes from threads
+        # inserting the same duplicated segment.
+        self.table = SimHashTable(
+            self.space, max(64, total * 2), pool, name="genome-hash"
+        )
+        # chain_links[i] = segment chained after unique segment i (index+1);
+        # chain tails hold the most recently linked segment per chain.
+        self.chain_links = SimArray(
+            self.space, len(self.unique_segments) + 1, name="genome-links"
+        )
+        self.chain_tails = SimArray(
+            self.space, self.num_chains, name="genome-tails", padded=True
+        )
+        self.linked = SimArray(
+            self.space, threads, name="genome-linked", padded=True
+        )
+        # Static round-robin partition of phase-2 work, as in the original
+        # (threads process disjoint slices of the segment table).
+        self.partition: List[List[int]] = [
+            list(range(tid, len(self.unique_segments), threads))
+            for tid in range(threads)
+        ]
+
+    def setup(self, memory: MainMemory) -> None:
+        self.chain_links.init(memory, [0] * (len(self.unique_segments) + 1))
+        self.chain_tails.init(memory, [0] * self.num_chains)
+        self.linked.init(memory, [0] * self.num_threads)
+
+    # -- phase 1: dedup ---------------------------------------------------
+    def _dedup_insert(self, node: int, segment: int) -> Generator:
+        inserted = yield from self.table.insert(node, segment, segment * 3)
+        return inserted
+
+    # -- phase 2: link ------------------------------------------------------
+    def _link(self, tid: int, index: int) -> Generator:
+        """Append unique segment #index to the chain it hashes to.
+
+        The hot tail pointer is read and replaced *first* (after which this
+        transaction never touches it again); the overlap wiring and match
+        scoring fill the rest of the transaction.
+        """
+        chain = index % self.num_chains
+        tail = yield Read(self.chain_tails.addr(chain))
+        yield Write(self.chain_tails.addr(chain), index + 1)
+        yield Write(self.chain_links.addr(index + 1), tail)
+        # Overlap scoring against the previous tail (reads another
+        # thread's freshly written link — the producer-consumer edge).
+        if tail != NULL:
+            prev = yield Read(self.chain_links.addr(tail))
+            yield Work(8 + (prev & 3))
+        done = yield Read(self.linked.addr(tid))
+        yield Write(self.linked.addr(tid), done + 1)
+        return chain
+
+    def thread_body(self, tid: int) -> Generator:
+        # Phase 1: segment deduplication.
+        for i, segment in enumerate(self.segments[tid]):
+            yield Work(8)
+            node = self.table.pool.reserve(("dedup", tid, i))
+            yield Txn(self._dedup_insert, (node, segment), label="dedup")
+        # Phase 2: link this thread's slice of unique segments.
+        for index in self.partition[tid]:
+            yield Work(14)
+            yield Txn(self._link, (tid, index), label="link")
+
+    # -- oracle ----------------------------------------------------------
+    def verify(self, memory: MainMemory) -> None:
+        items = self.table.host_items(memory)
+        if sorted(items) != self.unique_segments:
+            raise AssertionError(
+                f"dedup table holds {len(items)} keys, expected "
+                f"{len(self.unique_segments)} unique segments"
+            )
+        linked = sum(
+            memory.read_word(self.linked.addr(t)) for t in range(self.num_threads)
+        )
+        if linked != len(self.unique_segments):
+            raise AssertionError(
+                f"linked {linked} segments, expected {len(self.unique_segments)}"
+            )
+        # Every chain must be a NULL-terminated path; together the chains
+        # must cover every unique segment exactly once.
+        seen = 0
+        for chain in range(self.num_chains):
+            cursor = memory.read_word(self.chain_tails.addr(chain))
+            steps = 0
+            while cursor != NULL:
+                steps += 1
+                if steps > len(self.unique_segments):
+                    raise AssertionError(f"cycle in chain {chain}")
+                if (cursor - 1) % self.num_chains != chain:
+                    raise AssertionError(
+                        f"segment {cursor - 1} linked into wrong chain {chain}"
+                    )
+                cursor = memory.read_word(self.chain_links.addr(cursor))
+            seen += steps
+        if seen != len(self.unique_segments):
+            raise AssertionError(
+                f"chains cover {seen} segments, expected {len(self.unique_segments)}"
+            )

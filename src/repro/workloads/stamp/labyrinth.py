@@ -1,0 +1,120 @@
+"""labyrinth — maze routing with huge read sets and scarce parallelism.
+
+Each STAMP labyrinth transaction routes one wire through a shared grid: it
+reads every cell along a candidate path (a large read set over the shared
+structure) and, if all are free, claims them with writes.  Because every
+route reads a large swath of the grid, concurrent transactions almost
+always overlap and serialize; the paper notes that without *early release*
+of the grid from the read set "labyrinth shows no improvements given its
+scarce parallelism" — the behaviour this model reproduces (forwarding
+cannot help when the whole structure is in every read set).
+
+Paths are pre-drawn L-shaped routes; when a route attempt finds an
+occupied cell it reports failure and the thread retries with the next
+pre-drawn candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ...mem.memory import MainMemory
+from ...sim.ops import Read, Txn, Work, Write
+from ..base import Workload, register
+from ..structures import SimArray, SimCounter
+
+
+@register
+class Labyrinth(Workload):
+    name = "labyrinth"
+
+    #: Candidate paths drawn per route request before giving up.
+    candidates_per_route = 4
+
+    def __init__(self, *, threads: int = 16, seed: int = 1, scale: float = 1.0):
+        super().__init__(threads=threads, seed=seed, scale=scale)
+        self.side = self.scaled(24, floor=12)
+        self.routes_per_thread = self.scaled(4, floor=1)
+        self.grid = SimArray(self.space, self.side * self.side, name="grid")
+        self.routed = SimCounter(self.space, name="labyrinth-routed")
+        # Pre-draw all candidate paths for every route request.
+        self.route_plans: List[List[List[List[int]]]] = []
+        for _ in range(threads):
+            plans = []
+            for _ in range(self.routes_per_thread):
+                plans.append(
+                    [self._draw_path() for _ in range(self.candidates_per_route)]
+                )
+            self.route_plans.append(plans)
+
+    def _draw_path(self) -> List[int]:
+        """An L-shaped path between two random points, as cell indices."""
+        x0, y0 = self.rng.randrange(self.side), self.rng.randrange(self.side)
+        x1, y1 = self.rng.randrange(self.side), self.rng.randrange(self.side)
+        cells: List[int] = []
+        step = 1 if x1 >= x0 else -1
+        for x in range(x0, x1 + step, step):
+            cells.append(y0 * self.side + x)
+        step = 1 if y1 >= y0 else -1
+        for y in range(y0, y1 + step, step):
+            cells.append(y * self.side + x1)
+        # De-duplicate while keeping order (the corner cell appears twice).
+        seen: set = set()
+        unique = [c for c in cells if not (c in seen or seen.add(c))]
+        return unique
+
+    def setup(self, memory: MainMemory) -> None:
+        self.grid.init(memory, [0] * (self.side * self.side))
+        self.routed.init(memory, 0)
+
+    # -- the routing transaction ------------------------------------------
+    def _route(self, route_id: int, path: List[int]) -> Generator:
+        # Read phase: the whole candidate path must be free.
+        for cell in path:
+            owner = yield Read(self.grid.addr(cell))
+            if owner != 0:
+                return False  # blocked; the thread will try another path
+            yield Work(1)
+        # Claim phase.
+        for cell in path:
+            yield Write(self.grid.addr(cell), route_id)
+        yield from self.routed.add(1)
+        return True
+
+    def thread_body(self, tid: int) -> Generator:
+        for r, candidates in enumerate(self.route_plans[tid]):
+            route_id = 1 + tid * self.routes_per_thread + r
+            for path in candidates:
+                yield Work(15)  # path planning on a private grid snapshot
+                ok = yield Txn(self._route, (route_id, path), label="route")
+                if ok:
+                    break
+
+    # -- oracle ----------------------------------------------------------
+    def verify(self, memory: MainMemory) -> None:
+        # Atomicity oracle: each successful route owns its whole path; no
+        # cell is owned by a route that failed; routes never interleave on
+        # a cell (each cell has exactly one owner).
+        owners = {}
+        for cell in range(self.side * self.side):
+            v = memory.read_word(self.grid.addr(cell))
+            if v:
+                owners.setdefault(v, []).append(cell)
+        routed = memory.read_word(self.routed.addr)
+        if len(owners) != routed:
+            raise AssertionError(
+                f"{len(owners)} routes own cells but {routed} committed"
+            )
+        # Each owning route's claimed cells must exactly match one of its
+        # candidate paths (the one that succeeded), proving no partial
+        # (torn) claims survived.
+        for tid, plans in enumerate(self.route_plans):
+            for r, candidates in enumerate(plans):
+                route_id = 1 + tid * self.routes_per_thread + r
+                cells = owners.get(route_id)
+                if cells is None:
+                    continue
+                if not any(sorted(path) == sorted(cells) for path in candidates):
+                    raise AssertionError(
+                        f"route {route_id} claimed a torn path: {cells}"
+                    )

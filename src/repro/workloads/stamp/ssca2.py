@@ -1,0 +1,78 @@
+"""ssca2 — scalable synthetic graph kernel with tiny, rare-conflict
+transactions.
+
+STAMP's ssca2 (kernel 1) builds a graph: threads insert edges in parallel,
+each transaction appending one edge to a node's adjacency structure.  The
+node space is large relative to the thread count, so transactions almost
+never collide — the paper measures 0–10 aborts for the *entire* run and
+identical performance across every HTM system.  This workload exists to
+show that CHATS costs nothing when there is nothing to forward.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ...mem.memory import MainMemory
+from ...sim.ops import Read, Txn, Work, Write
+from ..base import Workload, register
+from ..structures import SimArray
+
+
+@register
+class SSCA2(Workload):
+    name = "ssca2"
+
+    def __init__(self, *, threads: int = 16, seed: int = 1, scale: float = 1.0):
+        super().__init__(threads=threads, seed=seed, scale=scale)
+        self.num_nodes = self.scaled(512, floor=threads * 8)
+        self.edges_per_thread = self.scaled(40)
+        # Per-node adjacency record [degree, weight-sum]; records are
+        # separate heap objects in the original, so they never false-share:
+        # one padded block per node, degree at word 0, weight at word 1.
+        self.records = SimArray(
+            self.space, self.num_nodes, name="node-records", padded=True
+        )
+        self.edges: List[List[Tuple[int, int]]] = [
+            [
+                (self.rng.randrange(self.num_nodes), 1 + self.rng.randrange(9))
+                for _ in range(self.edges_per_thread)
+            ]
+            for _ in range(threads)
+        ]
+
+    def _degree_addr(self, node: int) -> int:
+        return self.records.addr(node)
+
+    def _weight_addr(self, node: int) -> int:
+        return self.records.addr(node) + self.space.geometry.word_bytes
+
+    def setup(self, memory: MainMemory) -> None:
+        for node in range(self.num_nodes):
+            memory.write_word(self._degree_addr(node), 0)
+            memory.write_word(self._weight_addr(node), 0)
+
+    def _add_edge(self, node: int, w: int) -> Generator:
+        d = yield Read(self._degree_addr(node))
+        yield Write(self._degree_addr(node), d + 1)
+        s = yield Read(self._weight_addr(node))
+        yield Write(self._weight_addr(node), s + w)
+        return d + 1
+
+    def thread_body(self, tid: int) -> Generator:
+        for node, w in self.edges[tid]:
+            yield Work(8)
+            yield Txn(self._add_edge, (node, w), label="add-edge")
+
+    def verify(self, memory: MainMemory) -> None:
+        exp_degree = [0] * self.num_nodes
+        exp_weight = [0] * self.num_nodes
+        for thread_edges in self.edges:
+            for node, w in thread_edges:
+                exp_degree[node] += 1
+                exp_weight[node] += w
+        for node in range(self.num_nodes):
+            if memory.read_word(self._degree_addr(node)) != exp_degree[node]:
+                raise AssertionError(f"degree mismatch at node {node}")
+            if memory.read_word(self._weight_addr(node)) != exp_weight[node]:
+                raise AssertionError(f"weight mismatch at node {node}")

@@ -1,0 +1,118 @@
+"""vacation — travel reservation database with low contention.
+
+STAMP's vacation emulates an OLTP system: tables of cars, rooms, and
+flights with per-item capacities, and customers placing reservations.
+Each transaction looks up an item in the right table, checks and
+decrements its capacity, and records the reservation against the
+customer.  With many items relative to threads, conflicts are rare — the
+paper measures near-zero aborts and identical performance across systems
+(like ssca2, this pins the "CHATS costs nothing at low contention" claim).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ...mem.memory import MainMemory
+from ...sim.ops import Read, Txn, Work, Write
+from ..base import Workload, register
+from ..structures import NodePool, SimArray, SimHashTable
+
+
+@register
+class Vacation(Workload):
+    name = "vacation"
+
+    TABLES = 3  # cars, rooms, flights
+    INITIAL_CAPACITY = 100
+
+    def __init__(self, *, threads: int = 16, seed: int = 1, scale: float = 1.0):
+        super().__init__(threads=threads, seed=seed, scale=scale)
+        self.items_per_table = self.scaled(64, floor=threads)
+        self.queries_per_thread = self.scaled(32)
+        pool = NodePool(
+            self.space,
+            self.TABLES * self.items_per_table + 16,
+            3,
+            threads,
+            name="vacation-pool",
+        )
+        self.tables: List[SimHashTable] = [
+            SimHashTable(
+                self.space,
+                max(8, self.items_per_table // 2),
+                pool,
+                name=f"table{t}",
+            )
+            for t in range(self.TABLES)
+        ]
+        # Per-thread success counters live in simulated memory so the
+        # oracle can compare them against the capacity drain atomically.
+        self.successes = SimArray(
+            self.space, threads, name="vacation-successes", padded=True
+        )
+        self.queries: List[List[Tuple[int, int]]] = [
+            [
+                (
+                    self.rng.randrange(self.TABLES),
+                    1 + self.rng.randrange(self.items_per_table),
+                )
+                for _ in range(self.queries_per_thread)
+            ]
+            for _ in range(threads)
+        ]
+
+    def setup(self, memory: MainMemory) -> None:
+        for table in self.tables:
+            table.init(
+                memory,
+                [
+                    (item, self.INITIAL_CAPACITY)
+                    for item in range(1, self.items_per_table + 1)
+                ],
+            )
+        self.successes.init(memory, [0] * self.num_threads)
+
+    # -- the reservation transaction ---------------------------------------
+    def _reserve(self, tid: int, table_idx: int, item: int) -> Generator:
+        table = self.tables[table_idx]
+        head_addr = table.heads.addr(table._bucket(item))
+        node = yield Read(head_addr)
+        while node:
+            k = yield Read(table.pool.field(node, SimHashTable.KEY))
+            if k == item:
+                capacity = yield Read(table.pool.field(node, SimHashTable.VALUE))
+                if capacity <= 0:
+                    return False
+                yield Write(
+                    table.pool.field(node, SimHashTable.VALUE), capacity - 1
+                )
+                done = yield Read(self.successes.addr(tid))
+                yield Write(self.successes.addr(tid), done + 1)
+                return True
+            node = yield Read(table.pool.field(node, SimHashTable.NEXT))
+        raise AssertionError(f"item {item} missing from table {table_idx}")
+
+    def thread_body(self, tid: int) -> Generator:
+        for table_idx, item in self.queries[tid]:
+            yield Work(10)
+            yield Txn(self._reserve, (tid, table_idx, item), label="reserve")
+
+    # -- oracle ----------------------------------------------------------
+    def verify(self, memory: MainMemory) -> None:
+        drained = 0
+        for table in self.tables:
+            for item, capacity in table.host_items(memory).items():
+                if not 0 <= capacity <= self.INITIAL_CAPACITY:
+                    raise AssertionError(
+                        f"capacity of item {item} out of range: {capacity}"
+                    )
+                drained += self.INITIAL_CAPACITY - capacity
+        booked = sum(
+            memory.read_word(self.successes.addr(t))
+            for t in range(self.num_threads)
+        )
+        if drained != booked:
+            raise AssertionError(
+                f"capacity drained by {drained} but {booked} bookings recorded"
+            )

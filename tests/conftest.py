@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.address import AddressSpace, Geometry
+from repro.mem.memory import MainMemory
+from repro.sim.config import HTMConfig, SystemConfig, SystemKind, table2_config
+from repro.sim.simulator import Simulator, run_simulation
+from repro.workloads.scripted import ScriptedWorkload
+
+
+@pytest.fixture
+def geometry() -> Geometry:
+    return Geometry()
+
+
+@pytest.fixture
+def memory(geometry) -> MainMemory:
+    return MainMemory(geometry)
+
+
+@pytest.fixture
+def space(geometry) -> AddressSpace:
+    return AddressSpace(geometry)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 4-core machine with a tiny L1 for eviction-path tests."""
+    return SystemConfig(num_cores=4, l1_size_bytes=4 * 64 * 2, l1_ways=2)
+
+
+def run_scripted(
+    thread_fns,
+    system: SystemKind = SystemKind.BASELINE,
+    *,
+    htm: HTMConfig = None,
+    config: SystemConfig = None,
+    initial=None,
+    check=None,
+    max_events: int = 3_000_000,
+):
+    """Build and run a ScriptedWorkload; returns (result, simulator)."""
+    wl = ScriptedWorkload(list(thread_fns), initial=initial, check=check)
+    htm = htm if htm is not None else table2_config(system)
+    config = config if config is not None else SystemConfig(
+        num_cores=max(2, len(thread_fns))
+    )
+    sim = Simulator(wl, htm=htm, config=config)
+    result = sim.run(max_events=max_events)
+    return result, sim
+
+
+@pytest.fixture
+def scripted():
+    return run_scripted
+
+
+ALL_SYSTEMS = (
+    SystemKind.BASELINE,
+    SystemKind.NAIVE_RS,
+    SystemKind.CHATS,
+    SystemKind.POWER,
+    SystemKind.PCHATS,
+    SystemKind.LEVC,
+)

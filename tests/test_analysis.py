@@ -1,0 +1,140 @@
+"""Unit tests for the analysis layer (metrics, tables, results)."""
+
+import math
+
+import pytest
+
+from repro.analysis import metrics
+from repro.analysis.tables import (
+    format_heatmap,
+    format_stacked,
+    format_table,
+    summarize_series,
+)
+from repro.htm.stats import HTMStats
+from repro.sim.results import SimulationResult
+
+
+def make_result(workload, cycles, *, aborts=0, flits=0, commits=10):
+    stats = HTMStats()
+    stats.tx_commits = commits
+    from repro.htm.stats import AbortReason
+
+    stats.aborts[AbortReason.CONFLICT] = aborts
+    return SimulationResult(
+        workload=workload,
+        system="test",
+        cycles=cycles,
+        stats=stats,
+        network={"flits": flits},
+    )
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert metrics.arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_geometric(self):
+        assert math.isclose(metrics.geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.arithmetic_mean([])
+        with pytest.raises(ValueError):
+            metrics.geometric_mean([])
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            metrics.geometric_mean([1.0, 0.0])
+
+
+class TestNormalization:
+    def test_normalized_times(self):
+        base = {"a": make_result("a", 100)}
+        res = {"a": make_result("a", 80)}
+        assert metrics.normalized_times(res, base) == {"a": 0.8}
+
+    def test_micro_exclusion_from_means(self):
+        normalized = {"kmeans-h": 0.5, "llb-l": 0.1, "cadd": 0.1}
+        # The micro values (0.1) must not drag the mean down.
+        assert metrics.mean_normalized_time(normalized) == 0.5
+
+    def test_is_micro(self):
+        assert metrics.is_micro("llb-h")
+        assert metrics.is_micro("cadd")
+        assert not metrics.is_micro("genome")
+
+    def test_normalized_aborts_guard_zero(self):
+        base = {"a": make_result("a", 100, aborts=0)}
+        res = {"a": make_result("a", 100, aborts=5)}
+        assert metrics.normalized_aborts(res, base)["a"] == 5.0
+
+    def test_normalized_flits(self):
+        base = {"a": make_result("a", 100, flits=1000)}
+        res = {"a": make_result("a", 100, flits=700)}
+        assert metrics.normalized_flits(res, base)["a"] == 0.7
+
+    def test_order_workloads(self):
+        ordered = metrics.order_workloads(["cadd", "genome", "zzz", "kmeans-h"])
+        assert ordered == ["genome", "kmeans-h", "cadd", "zzz"]
+
+
+class TestSimulationResult:
+    def test_speedup_and_normalized(self):
+        base = make_result("a", 200)
+        fast = make_result("a", 100)
+        assert fast.speedup_over(base) == 2.0
+        assert fast.normalized_time(base) == 0.5
+
+    def test_degenerate_cycles_rejected(self):
+        base = make_result("a", 0)
+        other = make_result("a", 10)
+        with pytest.raises(ValueError):
+            other.normalized_time(base)
+        with pytest.raises(ValueError):
+            base.speedup_over(other)
+
+    def test_totals(self):
+        r = make_result("a", 100, aborts=3, commits=7)
+        r.stats.tx_fallback_commits = 2
+        assert r.total_commits == 9
+        assert r.total_aborts == 3
+        assert r.abort_ratio == 3 / 9
+
+    def test_summary_fields(self):
+        summary = make_result("a", 100).summary()
+        for key in ("workload", "cycles", "commits", "abort_breakdown"):
+            assert key in summary
+
+
+class TestRenderers:
+    def test_format_table(self):
+        text = format_table(
+            "Title",
+            ["row1", "row2"],
+            {"S1": {"row1": 1.0, "row2": 2.0}, "S2": {"row1": 0.5}},
+            footer={"note": "hello"},
+        )
+        assert "Title" in text
+        assert "1.000" in text and "2.000" in text
+        assert "-" in text  # missing cell placeholder
+        assert "note: hello" in text
+
+    def test_format_stacked(self):
+        text = format_stacked(
+            "Stacks",
+            ["w"],
+            {"CHATS": {"w": {"conflict": 5, "cycle": 2}}},
+        )
+        assert "conflict=5" in text and "cycle=2" in text
+        assert "total=" in text and "7" in text
+
+    def test_format_heatmap(self):
+        text = format_heatmap(
+            "Heat", ["r1"], [10, 20], {("r1", 10): 1.5, ("r1", 20): 2.5}
+        )
+        assert "1.500" in text and "2.500" in text
+
+    def test_summarize_series(self):
+        s = summarize_series({"a": 1.0, "b": 3.0})
+        assert s == {"min": 1.0, "max": 3.0, "mean": 2.0}

@@ -1,0 +1,167 @@
+"""Unit + property tests for the L1 cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import CacheLine, CapacityAbort, L1Cache
+from repro.sim.config import SystemConfig
+
+
+def tiny_cache(sets=2, ways=2) -> L1Cache:
+    config = SystemConfig(
+        num_cores=1, l1_size_bytes=64 * sets * ways, l1_ways=ways
+    )
+    return L1Cache(config)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(5) is None
+        cache.install(5, "S")
+        line = cache.lookup(5)
+        assert line is not None and line.state == "S"
+
+    def test_install_refreshes_state(self):
+        cache = tiny_cache()
+        cache.install(5, "S")
+        cache.install(5, "M", speculative=True)
+        line = cache.peek(5)
+        assert line.state == "M" and line.speculative
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.install(5, "E")
+        cache.invalidate(5)
+        assert cache.peek(5) is None
+
+    def test_invalidate_absent_is_noop(self):
+        tiny_cache().invalidate(1234)
+
+    def test_occupancy(self):
+        cache = tiny_cache()
+        cache.install(0, "S")
+        cache.install(1, "S")
+        assert cache.occupancy() == 2
+
+    def test_mark_speculative(self):
+        cache = tiny_cache()
+        cache.install(3, "M")
+        cache.mark_speculative(3)
+        assert cache.peek(3).speculative
+
+    def test_mark_speculative_missing_raises(self):
+        with pytest.raises(KeyError):
+            tiny_cache().mark_speculative(3)
+
+
+class TestReplacement:
+    def test_lru_victim(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, "S")
+        cache.install(1, "S")
+        cache.lookup(0)  # touch 0: now 1 is LRU
+        victim = cache.install(2, "S")
+        assert victim.block == 1
+        assert cache.peek(0) is not None
+
+    def test_speculative_lines_protected(self):
+        # Write-set-aware replacement: the SM line survives even when LRU.
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, "M", speculative=True)
+        cache.install(1, "S")
+        victim = cache.install(2, "S")
+        assert victim.block == 1
+        assert cache.peek(0) is not None
+
+    def test_capacity_abort_when_only_spec_victims(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, "M", speculative=True)
+        cache.install(1, "M", speculative=True)
+        with pytest.raises(CapacityAbort):
+            cache.install(2, "S")
+
+    def test_sets_are_independent(self):
+        cache = tiny_cache(sets=2, ways=1)
+        cache.install(0, "S")  # set 0
+        cache.install(1, "S")  # set 1
+        assert cache.peek(0) is not None and cache.peek(1) is not None
+        victim = cache.install(2, "S")  # set 0 again
+        assert victim.block == 0
+
+
+class TestTransactionalSupport:
+    def test_gang_invalidation_drops_only_sm(self):
+        cache = tiny_cache()
+        cache.install(0, "M", speculative=True)
+        cache.install(1, "S")
+        cache.install(2, "M")
+        dropped = cache.gang_invalidate_speculative()
+        assert dropped == [0]
+        assert cache.peek(0) is None
+        assert cache.peek(1) is not None and cache.peek(2) is not None
+
+    def test_clear_speculative_marks_on_commit(self):
+        cache = tiny_cache()
+        cache.install(0, "M", speculative=True, spec_received=True)
+        cleared = cache.clear_speculative_marks()
+        assert cleared == [0]
+        line = cache.peek(0)
+        assert line.state == "M"
+        assert not line.speculative and not line.spec_received
+
+    def test_speculative_blocks_listing(self):
+        cache = tiny_cache()
+        cache.install(0, "M", speculative=True)
+        cache.install(1, "S")
+        assert cache.speculative_blocks() == [0]
+
+    def test_resident_blocks(self):
+        cache = tiny_cache()
+        cache.install(0, "S")
+        cache.install(1, "E")
+        assert sorted(cache.resident_blocks()) == [0, 1]
+
+
+class TestProperties:
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+    )
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = tiny_cache(sets=2, ways=2)
+        for b in blocks:
+            cache.install(b, "S")
+        assert cache.occupancy() <= 4
+        for cset in cache._sets:
+            assert len(cset) <= 2
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100)
+    )
+    def test_most_recent_install_always_resident(self, blocks):
+        cache = tiny_cache(sets=2, ways=2)
+        for b in blocks:
+            cache.install(b, "S")
+            assert cache.peek(b) is not None
+
+    @given(
+        spec=st.lists(st.integers(min_value=0, max_value=31), max_size=8, unique=True),
+        plain=st.lists(st.integers(min_value=32, max_value=63), max_size=8, unique=True),
+    )
+    def test_gang_invalidation_is_exact(self, spec, plain):
+        cache = tiny_cache(sets=8, ways=4)
+        try:
+            for b in spec:
+                cache.install(b, "M", speculative=True)
+            for b in plain:
+                cache.install(b, "S")
+        except CapacityAbort:
+            return  # degenerate packing; not the property under test
+        dropped = cache.gang_invalidate_speculative()
+        # Gang invalidation drops exactly the SM lines; plain lines are
+        # untouched by it (though some may have been evicted earlier by
+        # ordinary replacement when a set overflowed).
+        assert sorted(dropped) == sorted(set(spec))
+        residents = set(cache.resident_blocks())
+        assert residents <= set(plain)
+        assert not residents & set(spec)

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "counter"])
+        assert args.workload == "counter"
+        assert args.system == "chats"
+        assert args.threads == 16
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-workload"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig4"])
+        assert args.figure == "fig4"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig2"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans-h" in out
+        assert "levc-be-idealized" in out
+        assert "fig10" in out
+
+    def test_run_single_system(self, capsys):
+        rc = main(
+            ["run", "counter", "--system", "baseline", "--threads", "2",
+             "--scale", "0.1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "commits" in out
+
+    def test_run_all_systems(self, capsys):
+        rc = main(
+            ["run", "counter", "--all-systems", "--threads", "2",
+             "--scale", "0.1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("cycles=") == 6
+
+    def test_unknown_system_exits(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["run", "counter", "--system", "bogus"])

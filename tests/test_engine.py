@@ -1,0 +1,136 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, fired.append, "b")
+        engine.schedule(5, fired.append, "a")
+        engine.schedule(20, fired.append, "c")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        engine = Engine()
+        fired = []
+        for name in "abcde":
+            engine.schedule(7, fired.append, name)
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_now_advances(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5, lambda: seen.append(engine.now))
+        engine.schedule(9, lambda: seen.append(engine.now))
+        final = engine.run()
+        assert seen == [5, 9]
+        assert final == 9
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5, lambda: engine.schedule_at(30, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [30]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            fired.append(("outer", engine.now))
+            engine.schedule(3, inner)
+
+        def inner():
+            fired.append(("inner", engine.now))
+
+        engine.schedule(2, outer)
+        engine.run()
+        assert fired == [("outer", 2), ("inner", 5)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        token = engine.schedule(5, fired.append, "x")
+        token.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        token = engine.schedule(5, lambda: None)
+        token.cancel()
+        token.cancel()
+        engine.run()
+
+
+class TestRunBounds:
+    def test_until_bound(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, fired.append, "early")
+        engine.schedule(50, fired.append, "late")
+        engine.run(until=10)
+        assert fired == ["early"]
+        assert engine.pending() == 1
+
+    def test_max_events_raises(self):
+        engine = Engine()
+
+        def loop():
+            engine.schedule(1, loop)
+
+        engine.schedule(0, loop)
+        with pytest.raises(RuntimeError, match="livelock"):
+            engine.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(7):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_processed == 7
+
+
+class TestDeterminism:
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40)
+    )
+    def test_same_schedule_same_order(self, delays):
+        def trace(ds):
+            engine = Engine()
+            out = []
+            for i, d in enumerate(ds):
+                engine.schedule(d, out.append, (d, i))
+            engine.run()
+            return out
+
+        assert trace(delays) == trace(delays)
+
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30)
+    )
+    def test_order_is_stable_sort_by_time(self, delays):
+        engine = Engine()
+        out = []
+        for i, d in enumerate(delays):
+            engine.schedule(d, out.append, (d, i))
+        engine.run()
+        # Events must be ordered by (time, insertion order).
+        assert out == sorted(out, key=lambda pair: (pair[0], pair[1]))

@@ -1,0 +1,72 @@
+"""Smoke tests executing every example script's main() at a small scale,
+so the examples cannot rot as the library evolves."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(name, argv, capsys):
+    module = load(name)
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        module.main()
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_main("quickstart", ["kmeans-h", "0.12"], capsys)
+    assert "baseline (requester-wins)" in out
+    assert "CHATS" in out
+    assert "speedup" in out
+
+
+def test_chain_anatomy(capsys):
+    out = run_main("chain_anatomy", [], capsys)
+    assert "SpecResp" in out
+    assert "validation" in out
+    assert "run finished" in out
+
+
+def test_contention_study(capsys):
+    out = run_main("contention_study", ["0.12"], capsys)
+    assert "llb-l" in out and "cadd" in out
+    assert "pchats" in out
+
+
+def test_policy_faceoff(capsys):
+    out = run_main("policy_faceoff", [], capsys)
+    assert out.count("yes") >= 6, "every policy must conserve the total"
+    assert "NO!" not in out
+
+
+def test_abort_forensics(capsys):
+    out = run_main("abort_forensics", ["0.12"], capsys)
+    assert "per-site outcomes" in out
+    assert "capture" in out
+
+
+def test_every_example_has_a_smoke_test():
+    tested = {
+        "quickstart",
+        "chain_anatomy",
+        "contention_study",
+        "policy_faceoff",
+        "abort_forensics",
+    }
+    present = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert present == tested, f"untested examples: {present - tested}"

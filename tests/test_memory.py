@@ -1,0 +1,141 @@
+"""Unit + property tests for value storage (committed image and
+speculative overlays)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.address import Geometry
+from repro.mem.memory import MainMemory, SpeculativeStore
+
+
+class TestMainMemory:
+    def test_unwritten_words_read_zero(self, memory):
+        assert memory.read_word(0x1234 & ~7) == 0
+
+    def test_write_read_roundtrip(self, memory):
+        memory.write_word(0x100, 42)
+        assert memory.read_word(0x100) == 42
+
+    def test_word_aliasing_within_word(self, memory):
+        memory.write_word(0x100, 7)
+        # Any byte address within the word reads the word's value.
+        assert memory.read_word(0x101) == 7
+        assert memory.read_word(0x107) == 7
+
+    def test_block_value_arity(self, memory):
+        assert len(memory.block_value(5)) == 8
+
+    def test_block_value_content(self, memory):
+        memory.write_word(0x40, 1)  # block 1, word 8
+        memory.write_word(0x78, 9)  # block 1, word 15
+        assert memory.block_value(1) == (1, 0, 0, 0, 0, 0, 0, 9)
+
+    def test_apply_block(self, memory):
+        memory.apply_block(2, (1, 2, 3, 4, 5, 6, 7, 8))
+        assert memory.read_word(0x80) == 1
+        assert memory.read_word(0xB8) == 8
+
+    def test_apply_block_wrong_arity(self, memory):
+        with pytest.raises(ValueError):
+            memory.apply_block(2, (1, 2))
+
+    def test_snapshot_is_a_copy(self, memory):
+        memory.write_word(0x100, 1)
+        snap = memory.snapshot()
+        memory.write_word(0x100, 2)
+        assert snap[0x100 // 8] == 1
+
+
+class TestSpeculativeStore:
+    def test_reads_fall_through_to_committed(self, memory):
+        memory.write_word(0x100, 5)
+        store = SpeculativeStore(memory)
+        assert store.read_word(0x100) == 5
+
+    def test_writes_shadow_committed(self, memory):
+        memory.write_word(0x100, 5)
+        store = SpeculativeStore(memory)
+        store.write_word(0x100, 9)
+        assert store.read_word(0x100) == 9
+        assert memory.read_word(0x100) == 5  # not yet visible
+
+    def test_commit_publishes(self, memory):
+        store = SpeculativeStore(memory)
+        store.write_word(0x100, 9)
+        store.commit()
+        assert memory.read_word(0x100) == 9
+        assert len(store) == 0
+
+    def test_discard_rolls_back(self, memory):
+        memory.write_word(0x100, 5)
+        store = SpeculativeStore(memory)
+        store.write_word(0x100, 9)
+        store.discard()
+        assert store.read_word(0x100) == 5
+        assert memory.read_word(0x100) == 5
+
+    def test_block_value_merges_overlay(self, memory):
+        memory.write_word(0x40, 1)
+        store = SpeculativeStore(memory)
+        store.write_word(0x48, 2)
+        assert store.block_value(1)[:2] == (1, 2)
+
+    def test_install_received_block(self, memory):
+        store = SpeculativeStore(memory)
+        store.install_received_block(1, (9, 8, 7, 6, 5, 4, 3, 2))
+        assert store.read_word(0x40) == 9
+        assert store.received_block_origin(1) == (9, 8, 7, 6, 5, 4, 3, 2)
+
+    def test_install_does_not_clobber_own_writes(self, memory):
+        # The transaction's own (younger) stores take precedence over the
+        # forwarded base copy — store-buffer forwarding semantics.
+        store = SpeculativeStore(memory)
+        store.write_word(0x40, 111)
+        store.install_received_block(1, (9, 8, 7, 6, 5, 4, 3, 2))
+        assert store.read_word(0x40) == 111
+        assert store.read_word(0x48) == 8
+
+    def test_written_blocks(self, memory):
+        store = SpeculativeStore(memory)
+        store.write_word(0x40, 1)
+        store.write_word(0x100, 2)
+        assert store.written_blocks() == {1, 4}
+
+    def test_has_word(self, memory):
+        store = SpeculativeStore(memory)
+        assert not store.has_word(0x40)
+        store.write_word(0x40, 1)
+        assert store.has_word(0x40)
+
+    @given(
+        writes=st.dictionaries(
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=2**32),
+            max_size=20,
+        )
+    )
+    def test_commit_equals_direct_writes(self, writes):
+        """Committing an overlay must equal applying the writes directly."""
+        g = Geometry()
+        mem_a, mem_b = MainMemory(g), MainMemory(g)
+        store = SpeculativeStore(mem_a)
+        for word, value in writes.items():
+            store.write_word(word * 8, value)
+            mem_b.write_word(word * 8, value)
+        store.commit()
+        assert mem_a.snapshot() == mem_b.snapshot()
+
+    @given(
+        base=st.tuples(*[st.integers(0, 100)] * 8),
+        overlay=st.dictionaries(st.integers(0, 7), st.integers(0, 100), max_size=8),
+    )
+    def test_block_value_overlay_property(self, base, overlay):
+        g = Geometry()
+        memory = MainMemory(g)
+        memory.apply_block(0, base)
+        store = SpeculativeStore(memory)
+        for idx, value in overlay.items():
+            store.write_word(idx * 8, value)
+        merged = store.block_value(0)
+        for i in range(8):
+            assert merged[i] == overlay.get(i, base[i])

@@ -1,0 +1,190 @@
+"""Unit + property tests for the Position in Chain register — the Fig. 3
+case analysis of Section IV-C."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pic import HolderAction, PiCRegister
+
+
+def make_pic(value=None, cons=False, limit=31, init=15) -> PiCRegister:
+    pic = PiCRegister(limit=limit, init=init)
+    pic.value = value
+    pic.cons = cons
+    return pic
+
+
+class TestFig3Cases:
+    def test_case_a_both_unset(self):
+        """Fig. 3A: two unconnected transactions; holder anchors at init."""
+        pic = make_pic()
+        d = pic.decide_as_holder(None)
+        assert d.action is HolderAction.FORWARD
+        assert d.new_local_pic == 15
+        assert d.message_pic == 15
+
+    def test_case_b_holder_chained_requester_unset(self):
+        """Fig. 3B: chained holder keeps its PiC; requester adopts below."""
+        pic = make_pic(value=20)
+        d = pic.decide_as_holder(None)
+        assert d.action is HolderAction.FORWARD
+        assert d.new_local_pic is None
+        assert d.message_pic == 20
+
+    def test_case_c_holder_unset_requester_chained(self):
+        """Fig. 3C: unchained holder hooks in above the requester."""
+        pic = make_pic(value=None)
+        d = pic.decide_as_holder(12)
+        assert d.action is HolderAction.FORWARD
+        assert d.new_local_pic == 13
+        assert d.message_pic == 13
+
+    def test_case_d_consuming_holder_must_abort_on_higher(self):
+        """Fig. 3D: remote above local while Cons is set: requester-wins."""
+        pic = make_pic(value=10, cons=True)
+        d = pic.decide_as_holder(12)
+        assert d.action is HolderAction.ABORT_LOCAL
+
+    def test_case_e_equal_pics_with_cons_abort(self):
+        """Fig. 3E: identical PiCs with unvalidated data: requester-wins."""
+        pic = make_pic(value=10, cons=True)
+        d = pic.decide_as_holder(10)
+        assert d.action is HolderAction.ABORT_LOCAL
+
+    def test_case_f_validated_holder_reanchors(self):
+        """Fig. 3F: Cons clear: the holder climbs above the requester."""
+        pic = make_pic(value=10, cons=False)
+        d = pic.decide_as_holder(12)
+        assert d.action is HolderAction.FORWARD
+        assert d.new_local_pic == 13
+
+    def test_case_g_forward_to_lower(self):
+        """Rule (ii): remote below local is always safe to forward."""
+        pic = make_pic(value=10, cons=True)  # even while consuming
+        d = pic.decide_as_holder(7)
+        assert d.action is HolderAction.FORWARD
+        assert d.new_local_pic is None
+        assert d.message_pic == 10
+
+
+class TestOverflowUnderflow:
+    def test_overflow_resolves_to_requester_wins(self):
+        pic = make_pic(value=None)
+        d = pic.decide_as_holder(30)  # 30 + 1 == limit
+        assert d.action is HolderAction.ABORT_LOCAL
+
+    def test_overflow_when_climbing(self):
+        pic = make_pic(value=5, cons=False)
+        d = pic.decide_as_holder(30)
+        assert d.action is HolderAction.ABORT_LOCAL
+
+    def test_underflow_checked_on_requesters_behalf(self):
+        # Holder at 0: the requester would need PiC -1 — refuse.
+        pic = make_pic(value=0)
+        d = pic.decide_as_holder(None)
+        assert d.action is HolderAction.ABORT_LOCAL
+
+
+class TestAdoption:
+    def test_unchained_consumer_adopts_below_producer(self):
+        pic = make_pic()
+        pic.adopt_from_spec_resp(15)
+        assert pic.value == 14
+        assert pic.cons
+
+    def test_chained_consumer_keeps_pic(self):
+        pic = make_pic(value=9)
+        pic.adopt_from_spec_resp(15)
+        assert pic.value == 9
+        assert pic.cons
+
+    def test_power_producer_spec_resp_keeps_pic(self):
+        """PCHATS: power producers carry no PiC; consumers keep theirs."""
+        pic = make_pic(value=None)
+        pic.adopt_from_spec_resp(None)
+        assert pic.value is None
+        assert pic.cons
+
+    def test_adoption_underflow_is_a_protocol_error(self):
+        pic = make_pic()
+        with pytest.raises(ValueError):
+            pic.adopt_from_spec_resp(0)
+
+
+class TestValidationCheck:
+    def test_lower_remote_is_cycle(self):
+        pic = make_pic(value=10)
+        assert pic.validation_check(9)
+        assert pic.validation_check(10)
+
+    def test_higher_remote_is_fine(self):
+        pic = make_pic(value=10)
+        assert not pic.validation_check(11)
+
+    def test_no_pic_no_check(self):
+        assert not make_pic(value=None).validation_check(5)
+        assert not make_pic(value=10).validation_check(None)
+
+
+class TestLifecycle:
+    def test_reset(self):
+        pic = make_pic(value=10, cons=True)
+        pic.reset()
+        assert pic.value is None and not pic.cons
+
+    def test_clear_cons_keeps_pic(self):
+        """Section IV-B: after the VSB drains the PiC stays valid until
+        commit — the transaction may still be a producer."""
+        pic = make_pic(value=10, cons=True)
+        pic.clear_cons()
+        assert pic.value == 10 and not pic.cons
+
+    def test_init_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            PiCRegister(limit=8, init=8)
+
+
+class TestInvariants:
+    @given(
+        local=st.one_of(st.none(), st.integers(0, 30)),
+        remote=st.one_of(st.none(), st.integers(0, 30)),
+        cons=st.booleans(),
+    )
+    def test_forward_always_orders_producer_above_consumer(
+        self, local, remote, cons
+    ):
+        """The CHATS invariant: whenever the holder forwards, its
+        (possibly updated) PiC is strictly greater than the PiC the
+        requester will end up with."""
+        pic = make_pic(value=local, cons=cons)
+        d = pic.decide_as_holder(remote)
+        if d.action is not HolderAction.FORWARD:
+            return
+        holder_pic = d.new_local_pic if d.new_local_pic is not None else local
+        assert holder_pic is not None
+        assert d.message_pic == holder_pic
+        consumer = PiCRegister(limit=31, init=15)
+        consumer.value = remote
+        consumer.adopt_from_spec_resp(d.message_pic)
+        assert consumer.value is not None
+        assert holder_pic > consumer.value
+
+    @given(
+        local=st.one_of(st.none(), st.integers(0, 30)),
+        remote=st.one_of(st.none(), st.integers(0, 30)),
+    )
+    def test_consuming_holder_never_climbs(self, local, remote):
+        """While Cons is set, a decision may never raise the local PiC
+        (it could climb past a producer)."""
+        pic = make_pic(value=local, cons=True)
+        before = pic.value
+        d = pic.decide_as_holder(remote)
+        if d.action is HolderAction.FORWARD and d.new_local_pic is not None:
+            # Updates are only allowed for unchained holders hooking in.
+            assert before is None
+
+    @given(st.integers(0, 30), st.booleans())
+    def test_decide_is_pure_until_applied(self, remote, cons):
+        pic = make_pic(value=12, cons=cons)
+        pic.decide_as_holder(remote)
+        assert pic.value == 12  # decide() itself must not mutate

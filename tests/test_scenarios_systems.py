@@ -1,0 +1,360 @@
+"""Scenario tests for the non-CHATS machinery: fallback lock, power
+token, capacity aborts, explicit aborts, non-transactional conflicts,
+naive R-S, and LEVC behaviours."""
+
+import pytest
+
+from repro.htm.stats import AbortReason
+from repro.sim.config import SystemConfig, SystemKind, table2_config
+from repro.sim.ops import Abort, AtomicCAS, Read, Txn, Work, Write
+from tests.conftest import run_scripted
+
+X = 0x10_0000
+Y = 0x10_1000
+Z = 0x10_2000
+
+
+class TestFallbackLock:
+    def test_no_retry_abort_goes_to_lock(self):
+        """``Abort(no_retry=True)`` (the _xabort-to-fallback idiom) must
+        serialize under the global lock and still produce the result."""
+        state = {"attempts": 0}
+
+        def thread():
+            def body():
+                state["attempts"] += 1
+                yield Write(X, state["attempts"])
+                if state["attempts"] == 1:
+                    yield Abort(no_retry=True)
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [thread], SystemKind.BASELINE, check=lambda m: m.read_word(X) == 2
+        )
+        assert sim.stats.tx_fallback_commits == 1
+        assert sim.lock.acquisitions == 1
+        assert sim.stats.aborts[AbortReason.EXPLICIT] == 1
+
+    def test_lock_holder_aborts_running_transactions(self):
+        """Eager subscription: the fallback acquirer's store to the lock
+        word must abort every hardware transaction in flight."""
+
+        def fallback_thread():
+            def body(first=[True]):
+                yield Write(X, 1)
+                if first[0]:
+                    first[0] = False
+                    yield Abort(no_retry=True)
+
+            yield Txn(body, ())
+
+        def victim():
+            def body():
+                yield Write(Y, 2)
+                yield Work(1500)  # long enough to overlap the lock path
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [fallback_thread, victim],
+            SystemKind.BASELINE,
+            check=lambda m: m.read_word(X) == 1 and m.read_word(Y) == 2,
+        )
+        assert sim.stats.aborts[AbortReason.LOCK] >= 1
+
+    def test_fallback_result_returned_to_thread(self):
+        seen = []
+
+        def thread():
+            def body():
+                yield Write(X, 5)
+                yield Abort(no_retry=True)
+                return "unreachable"
+
+            out = yield Txn(body, ())
+            seen.append(out)
+
+        # On the fallback path the body re-runs without Abort semantics
+        # stopping it... but the explicit Abort restarts the body under the
+        # lock; the second pass must terminate, so use attempt-dependent
+        # logic instead.
+        state = {"n": 0}
+
+        def thread2():
+            def body():
+                state["n"] += 1
+                yield Write(X, state["n"])
+                if state["n"] == 1:
+                    yield Abort(no_retry=True)
+                return state["n"]
+
+            out = yield Txn(body, ())
+            seen.append(out)
+
+        run_scripted([thread2], SystemKind.BASELINE)
+        assert seen == [2]
+
+
+class TestPowerToken:
+    def test_power_elevation_after_threshold(self):
+        """Two transactions hammering one block under Power: losers
+        request the token and commit with elevated priority."""
+
+        def thread(seed):
+            def t():
+                for i in range(6):
+                    def body():
+                        v = yield Read(X)
+                        yield Work(80)
+                        yield Write(X, v + 1)
+
+                    yield Txn(body, ())
+                    yield Work(10)
+
+            return t
+
+        result, sim = run_scripted(
+            [thread(0), thread(1), thread(2)],
+            SystemKind.POWER,
+            check=lambda m: m.read_word(X) == 18,
+            config=SystemConfig(num_cores=3),
+        )
+        assert sim.power.grants >= 1
+        assert sim.stats.power_commits >= 1
+
+    def test_power_holder_nacks_requesters(self):
+        result, sim = run_scripted(
+            [self._contender(), self._contender()],
+            SystemKind.POWER,
+            check=lambda m: m.read_word(X) == 8,
+        )
+        # NACK-based stalling implies aborted-by-power or nacked retries.
+        assert result.total_commits == 8
+
+    @staticmethod
+    def _contender():
+        def t():
+            for _ in range(4):
+                def body():
+                    v = yield Read(X)
+                    yield Work(60)
+                    yield Write(X, v + 1)
+
+                yield Txn(body, ())
+
+        return t
+
+
+class TestCapacityAborts:
+    def test_writing_past_the_ways_aborts(self, small_config):
+        """With a 2-way L1, a transaction writing 3 blocks of one set must
+        take a capacity abort and finish via the fallback lock."""
+        sets = small_config.l1_sets
+        block_bytes = small_config.block_bytes
+
+        def thread():
+            def body():
+                # Three blocks mapping to the same set.
+                for i in range(3):
+                    addr = (0x4000 + i * sets * block_bytes)
+                    yield Write(addr, i)
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [thread], SystemKind.BASELINE, config=small_config
+        )
+        assert sim.stats.aborts[AbortReason.CAPACITY] >= 1
+        assert sim.stats.tx_fallback_commits == 1
+
+    def test_read_set_is_signature_tracked_not_capacity_bound(self, small_config):
+        """Reads beyond the cache capacity must NOT abort: the perfect
+        signature tracks them (Section VI-B)."""
+        sets = small_config.l1_sets
+        block_bytes = small_config.block_bytes
+
+        def thread():
+            def body():
+                total = 0
+                for i in range(6):  # 3x the ways of one set
+                    v = yield Read(0x4000 + i * sets * block_bytes)
+                    total += v
+                yield Write(Y, total)
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [thread], SystemKind.BASELINE, config=small_config
+        )
+        assert sim.stats.aborts[AbortReason.CAPACITY] == 0
+        assert result.total_commits == 1
+
+
+class TestNonTransactionalConflicts:
+    def test_non_tx_write_aborts_conflicting_tx(self):
+        """Conflicting non-transactional requests always use
+        requester-wins, even against CHATS (Section IV-A)."""
+
+        def tx_thread():
+            def body():
+                yield Write(X, 1)
+                yield Work(800)
+
+            yield Txn(body, ())
+
+        def nontx_thread():
+            yield Work(200)
+            yield Write(X, 99)
+
+        result, sim = run_scripted(
+            [tx_thread, nontx_thread],
+            SystemKind.CHATS,
+            # The tx retries after the non-tx write and wins the race to
+            # the final state.
+            check=lambda m: m.read_word(X) == 1,
+        )
+        assert sim.stats.spec_forwards == 0
+        assert sim.stats.aborts[AbortReason.CONFLICT] >= 1
+
+    def test_atomic_cas_semantics(self):
+        def t1():
+            v = yield AtomicCAS(X, 0, 10)
+            yield Write(Y, v)
+
+        result, sim = run_scripted([t1], SystemKind.BASELINE)
+        assert sim.memory.read_word(X) == 10
+        assert sim.memory.read_word(Y) == 0  # observed pre-CAS value
+
+    def test_cas_failure_leaves_memory(self):
+        def t1():
+            yield Write(X, 5)
+            v = yield AtomicCAS(X, 0, 10)
+            yield Write(Y, v)
+
+        _, sim = run_scripted([t1], SystemKind.BASELINE)
+        assert sim.memory.read_word(X) == 5
+        assert sim.memory.read_word(Y) == 5
+
+
+class TestNaiveRS:
+    def test_naive_forwards_and_escapes_via_counter(self):
+        """Naive R-S forwards blindly; mutually-dependent transactions
+        burn their validation budget and escape via NAIVE_LIMIT aborts."""
+
+        def make(mine, theirs, val):
+            def thread():
+                def body():
+                    yield Write(mine, val)
+                    yield Work(300)
+                    v = yield Read(theirs)
+                    yield Work(600)
+                    yield Write(mine + 8, v)
+
+                yield Txn(body, ())
+
+            return thread
+
+        result, sim = run_scripted(
+            [make(X, Y, 1), make(Y, X, 2)],
+            SystemKind.NAIVE_RS,
+            check=lambda m: m.read_word(X) == 1 and m.read_word(Y) == 2,
+        )
+        assert result.total_commits == 2  # progress despite the cycle
+
+    def test_naive_simple_forward_commits(self):
+        def producer():
+            def body():
+                yield Write(X, 3)
+                yield Work(500)
+
+            yield Txn(body, ())
+
+        def consumer():
+            yield Work(120)
+
+            def body():
+                v = yield Read(X)
+                yield Write(Y, v)
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [producer, consumer],
+            SystemKind.NAIVE_RS,
+            check=lambda m: m.read_word(Y) == 3,
+        )
+        assert sim.stats.spec_forwards >= 1
+
+
+class TestLEVC:
+    def test_single_consumer_restriction(self):
+        """A LEVC producer may forward to only one consumer; the second
+        requester is NACKed and must wait."""
+
+        def producer():
+            def body():
+                yield Write(X, 4)
+                yield Work(700)
+
+            yield Txn(body, ())
+
+        def consumer(dst):
+            def t():
+                yield Work(150)
+
+                def body():
+                    v = yield Read(X)
+                    yield Write(dst, v)
+
+                yield Txn(body, ())
+
+            return t
+
+        result, sim = run_scripted(
+            [producer, consumer(Y), consumer(Z)],
+            SystemKind.LEVC,
+            check=lambda m: m.read_word(Y) == 4 and m.read_word(Z) == 4,
+        )
+        # At most one SpecResp per producer: the second consumer stalls.
+        assert result.total_commits == 3
+
+    def test_older_requester_aborts_forwarding_producer(self):
+        """The paper's LEVC criticism reproduced: the timestamp scheme
+        victimises a producer that has already forwarded, cascading the
+        abort into its consumer."""
+
+        def late_producer():
+            yield Work(100)  # younger timestamp
+
+            def body():
+                yield Write(X, 1)
+                yield Work(400)
+                v = yield Read(Y)  # conflicts with the older transaction
+                yield Write(X + 8, v)
+
+            yield Txn(body, ())
+
+        def old_holder():
+            def body():
+                yield Write(Y, 2)
+                yield Work(2000)
+
+            yield Txn(body, ())
+
+        def consumer():
+            yield Work(250)
+
+            def body():
+                v = yield Read(X)
+                yield Write(Z, v)
+
+            yield Txn(body, ())
+
+        result, sim = run_scripted(
+            [late_producer, old_holder, consumer],
+            SystemKind.LEVC,
+            check=lambda m: m.read_word(Z) == 1,
+            config=SystemConfig(num_cores=3),
+        )
+        assert result.total_commits == 3

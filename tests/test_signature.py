@@ -1,0 +1,82 @@
+"""Unit + property tests for read-set signatures."""
+
+from hypothesis import given, strategies as st
+
+from repro.htm.signature import BloomSignature, PerfectSignature
+
+
+class TestPerfectSignature:
+    def test_add_and_test(self):
+        sig = PerfectSignature()
+        sig.add(5)
+        assert sig.test(5)
+        assert not sig.test(6)
+
+    def test_clear(self):
+        sig = PerfectSignature()
+        sig.add(5)
+        sig.clear()
+        assert not sig.test(5)
+        assert len(sig) == 0
+
+    def test_blocks_returns_copy(self):
+        sig = PerfectSignature()
+        sig.add(1)
+        blocks = sig.blocks()
+        blocks.add(2)
+        assert not sig.test(2)
+
+    def test_iteration(self):
+        sig = PerfectSignature()
+        for b in (3, 1, 2):
+            sig.add(b)
+        assert sorted(sig) == [1, 2, 3]
+
+    @given(st.sets(st.integers(0, 2**40)))
+    def test_exactness(self, blocks):
+        sig = PerfectSignature()
+        for b in blocks:
+            sig.add(b)
+        for b in blocks:
+            assert sig.test(b)
+        for probe in range(100):
+            if probe not in blocks:
+                assert not sig.test(probe)
+
+
+class TestBloomSignature:
+    def test_membership(self):
+        sig = BloomSignature(bits=512)
+        sig.add(42)
+        assert sig.test(42)
+
+    def test_clear(self):
+        sig = BloomSignature(bits=512)
+        sig.add(42)
+        sig.clear()
+        assert not sig.test(42)
+        assert len(sig) == 0
+
+    def test_invalid_params(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BloomSignature(bits=0)
+        with pytest.raises(ValueError):
+            BloomSignature(hashes=0)
+
+    @given(st.sets(st.integers(0, 2**40), max_size=64))
+    def test_no_false_negatives(self, blocks):
+        """The defining Bloom-filter property: a real HTM signature may
+        report spurious conflicts but must never miss one."""
+        sig = BloomSignature(bits=2048, hashes=4)
+        for b in blocks:
+            sig.add(b)
+        for b in blocks:
+            assert sig.test(b)
+
+    def test_false_positives_exist_when_saturated(self):
+        sig = BloomSignature(bits=16, hashes=2)
+        for b in range(64):
+            sig.add(b)
+        assert any(sig.test(probe) for probe in range(1000, 1100))

@@ -1,0 +1,131 @@
+"""Unit + property tests for the Validation State Buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vsb import ValidationStateBuffer
+
+BLOCK_A = (1, 2, 3, 4, 5, 6, 7, 8)
+BLOCK_B = (8, 7, 6, 5, 4, 3, 2, 1)
+
+
+class TestBasics:
+    def test_empty_on_creation(self):
+        vsb = ValidationStateBuffer(4)
+        assert vsb.empty and not vsb.full
+        assert vsb.occupancy() == 0
+
+    def test_insert_and_lookup(self):
+        vsb = ValidationStateBuffer(4)
+        assert vsb.insert(10, BLOCK_A)
+        assert vsb.contains(10)
+        assert vsb.lookup(10) == BLOCK_A
+        assert vsb.lookup(11) is None
+
+    def test_duplicate_insert_keeps_first_copy(self):
+        vsb = ValidationStateBuffer(4)
+        vsb.insert(10, BLOCK_A)
+        assert vsb.insert(10, BLOCK_B)  # reports success, first copy wins
+        assert vsb.lookup(10) == BLOCK_A
+        assert vsb.occupancy() == 1
+
+    def test_full_buffer_rejects(self):
+        vsb = ValidationStateBuffer(2)
+        assert vsb.insert(1, BLOCK_A)
+        assert vsb.insert(2, BLOCK_A)
+        assert vsb.full
+        assert not vsb.insert(3, BLOCK_A)
+
+    def test_retire(self):
+        vsb = ValidationStateBuffer(2)
+        vsb.insert(1, BLOCK_A)
+        vsb.retire(1)
+        assert vsb.empty
+        with pytest.raises(KeyError):
+            vsb.retire(1)
+
+    def test_retire_frees_slot(self):
+        vsb = ValidationStateBuffer(1)
+        vsb.insert(1, BLOCK_A)
+        vsb.retire(1)
+        assert vsb.insert(2, BLOCK_B)
+
+    def test_clear(self):
+        vsb = ValidationStateBuffer(4)
+        vsb.insert(1, BLOCK_A)
+        vsb.insert(2, BLOCK_B)
+        vsb.clear()
+        assert vsb.empty
+        assert vsb.blocks() == []
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ValidationStateBuffer(0)
+
+
+class TestRoundRobin:
+    def test_walks_all_entries(self):
+        vsb = ValidationStateBuffer(4)
+        for block in (1, 2, 3):
+            vsb.insert(block, BLOCK_A)
+        seen = [vsb.next_to_validate().block for _ in range(3)]
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_cycles_back(self):
+        vsb = ValidationStateBuffer(4)
+        vsb.insert(1, BLOCK_A)
+        vsb.insert(2, BLOCK_A)
+        seen = [vsb.next_to_validate().block for _ in range(4)]
+        assert seen == [1, 2, 1, 2]
+
+    def test_empty_returns_none(self):
+        assert ValidationStateBuffer(4).next_to_validate() is None
+
+    def test_skips_retired(self):
+        vsb = ValidationStateBuffer(4)
+        vsb.insert(1, BLOCK_A)
+        vsb.insert(2, BLOCK_A)
+        vsb.retire(1)
+        assert vsb.next_to_validate().block == 2
+        assert vsb.next_to_validate().block == 2
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "retire"]), st.integers(0, 9)),
+            max_size=60,
+        ),
+        size=st.integers(1, 6),
+    )
+    def test_occupancy_bounded_and_consistent(self, ops, size):
+        vsb = ValidationStateBuffer(size)
+        shadow = {}
+        for op, block in ops:
+            if op == "insert":
+                ok = vsb.insert(block, BLOCK_A)
+                if block in shadow:
+                    assert ok
+                elif len(shadow) < size:
+                    assert ok
+                    shadow[block] = BLOCK_A
+                else:
+                    assert not ok
+            else:
+                if block in shadow:
+                    vsb.retire(block)
+                    del shadow[block]
+        assert vsb.occupancy() == len(shadow)
+        assert sorted(vsb.blocks()) == sorted(shadow)
+        assert vsb.full == (len(shadow) == size)
+
+    @given(blocks=st.sets(st.integers(0, 100), min_size=1, max_size=4))
+    def test_round_robin_is_fair(self, blocks):
+        """Every valid entry is selected once per cycle of the pointer."""
+        vsb = ValidationStateBuffer(4)
+        for b in blocks:
+            vsb.insert(b, BLOCK_A)
+        n = len(blocks)
+        seen = [vsb.next_to_validate().block for _ in range(2 * n)]
+        assert sorted(seen[:n]) == sorted(blocks)
+        assert sorted(seen[n:]) == sorted(blocks)

@@ -1,0 +1,133 @@
+"""Behavioural tests tying each benchmark to the paper's description of
+*why* it behaves the way it does under CHATS (Section VII)."""
+
+import pytest
+
+import repro
+from repro.sim.config import SystemKind
+
+
+def run(name, system, **kw):
+    defaults = dict(threads=8, seed=1, scale=0.2)
+    defaults.update(kw)
+    return repro.run_workload(name, system, **defaults)
+
+
+class TestKMeans:
+    def test_migratory_pattern_forwards(self):
+        """Centre updates migrate between threads; CHATS must forward
+        heavily and validate a meaningful share."""
+        r = run("kmeans-h", SystemKind.CHATS)
+        assert r.stats.spec_forwards > 50
+        assert r.stats.validations_succeeded > 0
+
+    def test_contention_ordering(self):
+        """kmeans-h (6 centres) must conflict more than kmeans-l (32)."""
+        high = run("kmeans-h", SystemKind.BASELINE)
+        low = run("kmeans-l", SystemKind.BASELINE)
+        assert high.total_aborts > low.total_aborts
+
+    def test_chats_reduces_conflicts(self):
+        base = run("kmeans-h", SystemKind.BASELINE)
+        chats = run("kmeans-h", SystemKind.CHATS)
+        assert chats.cycles < base.cycles
+
+
+class TestGenome:
+    def test_link_phase_is_the_forwarding_site(self):
+        r = run("genome", SystemKind.CHATS)
+        labels = r.stats.label_summary()
+        assert "link" in labels and "dedup" in labels
+        # Linking (chain tails) commits for every unique segment.
+        assert labels["link"]["commits"] > 0
+
+    def test_dedup_is_low_conflict_with_big_table(self):
+        r = run("genome", SystemKind.BASELINE)
+        labels = r.stats.label_summary()
+        commits = labels["dedup"]["commits"]
+        aborts = labels["dedup"]["aborts"]
+        assert aborts < commits, "a generously sized table rarely collides"
+
+
+class TestIntruder:
+    def test_capture_is_the_choke_point(self):
+        r = run("intruder", SystemKind.BASELINE)
+        labels = r.stats.label_summary()
+        assert labels["capture"]["aborts"] >= labels["reassembly"]["aborts"]
+
+    def test_pchats_handles_it_best(self):
+        chats = run("intruder", SystemKind.CHATS)
+        pchats = run("intruder", SystemKind.PCHATS)
+        base = run("intruder", SystemKind.BASELINE)
+        assert pchats.cycles <= chats.cycles * 1.15
+        assert pchats.cycles < base.cycles
+
+
+class TestLowContentionPair:
+    @pytest.mark.parametrize("name", ["ssca2", "vacation"])
+    def test_all_systems_close_to_baseline(self, name):
+        """The paper: 'all configurations achieve virtually the same
+        performance' on ssca2/vacation.  At the tiny test scale a handful
+        of resolved conflicts moves the ratio, so the tolerance is loose —
+        the figure-level benches check the calibrated configuration."""
+        cycles = {}
+        for system in (
+            SystemKind.BASELINE,
+            SystemKind.CHATS,
+            SystemKind.PCHATS,
+        ):
+            cycles[system] = run(name, system).cycles
+        base = cycles[SystemKind.BASELINE]
+        for system, c in cycles.items():
+            assert abs(c - base) / base < 0.40, f"{name}/{system.value}"
+
+    def test_ssca2_has_almost_no_aborts(self):
+        r = run("ssca2", SystemKind.BASELINE)
+        assert r.total_aborts <= 15  # the paper: 0-10 for the full run
+
+
+class TestYada:
+    def test_writes_are_write_once(self):
+        """The migration pattern: generation bumps are exact, meaning no
+        record was double-counted through any speculation path."""
+        for system in (SystemKind.CHATS, SystemKind.LEVC):
+            r = run("yada", system)  # verify() checks the exact sum
+            assert r.total_commits > 0
+
+    def test_long_transactions_forward(self):
+        r = run("yada", SystemKind.CHATS)
+        assert r.stats.spec_forwards > 0
+
+
+class TestLabyrinth:
+    def test_failed_routes_use_alternatives(self):
+        wl = repro.make_workload("labyrinth", threads=8, seed=1, scale=0.3)
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(wl, htm=repro.table2_config(SystemKind.BASELINE))
+        result = sim.run()
+        routed = sim.memory.read_word(wl.routed.addr)
+        requested = wl.num_threads * wl.routes_per_thread
+        # Not every route fits (cells fill up) but a healthy majority must.
+        assert routed >= requested // 2
+        assert routed <= requested
+
+
+class TestMicrobenchmarks:
+    def test_llb_low_vs_high_contention(self):
+        low = run("llb-l", SystemKind.BASELINE)
+        high = run("llb-h", SystemKind.BASELINE)
+        assert high.total_aborts >= low.total_aborts
+
+    def test_cadd_forwarders_commit(self):
+        """cadd's blind write + read tail is the ideal chain pattern: the
+        overwhelming majority of forwarders must survive."""
+        r = run("cadd", SystemKind.CHATS)
+        fwd = r.stats.forwarder_committed + r.stats.forwarder_aborted
+        assert fwd > 0
+        assert r.stats.forwarder_committed / fwd > 0.7
+
+    def test_chats_wins_llb_low(self):
+        base = run("llb-l", SystemKind.BASELINE)
+        chats = run("llb-l", SystemKind.CHATS)
+        assert chats.cycles < base.cycles * 0.8
