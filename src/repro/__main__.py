@@ -14,6 +14,12 @@ Subcommands:
       python -m repro figure fig9 --scale 0.25
 
 * ``list`` — list registered workloads, systems, and experiments.
+
+``run``, ``figure``, and ``report`` share the experiment runner's cache
+and parallelism flags: ``--workers N`` fans simulations out over N
+processes (default ``REPRO_WORKERS``), ``--cache-dir`` relocates the disk
+cache (default ``.repro_cache``, env ``REPRO_CACHE_DIR``), and
+``--no-cache`` disables the disk cache for the invocation.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ import argparse
 import os
 import sys
 
-from . import SystemKind, all_system_kinds, run_workload, workload_names
-from .experiments.registry import EXPERIMENTS
+from . import SystemKind, all_system_kinds, workload_names
+from .experiments import runner
+from .experiments.registry import EXPERIMENTS, experiment_configs
 from .experiments.figures import FIGURES, run_figure
 
 
@@ -63,21 +70,47 @@ def _print_result(result) -> None:
             )
 
 
+def _apply_runner_flags(args: argparse.Namespace) -> None:
+    """Propagate the shared cache/parallelism flags to the runner."""
+    if getattr(args, "scale", None) is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if getattr(args, "workers", None) is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    runner.configure(
+        cache_dir=getattr(args, "cache_dir", None),
+        disk_cache=False if getattr(args, "no_cache", False) else None,
+        progress=_progress_printer,
+    )
+
+
+def _progress_printer(done: int, total: int, cfg, source: str) -> None:
+    print(
+        f"  [{done:>3d}/{total}] {source:<6s} {cfg.describe()}",
+        file=sys.stderr,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    _apply_runner_flags(args)
     systems = (
         list(all_system_kinds())
         if args.all_systems
         else [_system_from_name(args.system)]
     )
-    baseline_cycles = None
-    for system in systems:
-        result = run_workload(
+    configs = [
+        runner.RunConfig.make(
             args.workload,
             system,
             threads=args.threads,
             seed=args.seed,
             scale=args.scale,
+            max_events=80_000_000,
         )
+        for system in systems
+    ]
+    results = runner.run_many(configs, progress=_progress_printer)
+    baseline_cycles = None
+    for system, result in zip(systems, results):
         if len(systems) > 1:
             if baseline_cycles is None:
                 baseline_cycles = result.cycles
@@ -93,22 +126,33 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    if args.scale is not None:
-        os.environ["REPRO_SCALE"] = str(args.scale)
+    _apply_runner_flags(args)
     result = run_figure(args.figure)
     print(result.rendering)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    if args.scale is not None:
-        os.environ["REPRO_SCALE"] = str(args.scale)
+    _apply_runner_flags(args)
+    # Batch the union of every figure's declared configs so shared cells
+    # (the main six-system sweep feeds Figs. 1, 4-7, and 11) run once,
+    # spread over the worker pool; rendering then hits the warm cache.
+    union = [
+        cfg for fid in sorted(FIGURES) for cfg in experiment_configs(fid)
+    ]
+    runner.run_many(union, progress=_progress_printer)
     for fid in sorted(FIGURES):
         result = run_figure(fid)
         print()
         print("#" * 72)
         print()
         print(result.rendering)
+    counters = runner.counters()
+    print(
+        f"\n[runner] simulations={counters.simulations} "
+        f"memory_hits={counters.memory_hits} disk_hits={counters.disk_hits}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -132,7 +176,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one workload")
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the simulation sweep "
+        "(default: $REPRO_WORKERS or 1 = serial)",
+    )
+    cache_flags.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    cache_flags.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk cache location (default: $REPRO_CACHE_DIR or "
+        ".repro_cache)",
+    )
+
+    p_run = sub.add_parser(
+        "run", help="run one workload", parents=[cache_flags]
+    )
     p_run.add_argument("workload", choices=workload_names())
     p_run.add_argument(
         "--system",
@@ -149,7 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", type=float, default=0.4)
     p_run.set_defaults(fn=cmd_run)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig = sub.add_parser(
+        "figure", help="regenerate a paper figure", parents=[cache_flags]
+    )
     p_fig.add_argument("figure", choices=sorted(FIGURES))
     p_fig.add_argument("--scale", type=float, default=None)
     p_fig.set_defaults(fn=cmd_figure)
@@ -158,7 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(fn=cmd_list)
 
     p_rep = sub.add_parser(
-        "report", help="regenerate the entire evaluation (all figures)"
+        "report",
+        help="regenerate the entire evaluation (all figures)",
+        parents=[cache_flags],
     )
     p_rep.add_argument("--scale", type=float, default=None)
     p_rep.set_defaults(fn=cmd_report)

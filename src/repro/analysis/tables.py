@@ -8,7 +8,7 @@ evaluation section in textual form.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 
 def format_table(

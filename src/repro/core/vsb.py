@@ -78,11 +78,14 @@ class ValidationStateBuffer:
         """Round-robin selection of the next entry needing validation."""
         n = len(self._entries)
         for offset in range(n):
-            entry = self._entries[(self._validate_ptr + offset) % n]
+            # Advance from the slot index itself, never from
+            # ``list.index(entry)``: VSBEntry compares by value, so equal
+            # entries in different slots would rewind the pointer and
+            # starve the earlier slot.
+            idx = (self._validate_ptr + offset) % n
+            entry = self._entries[idx]
             if entry.valid:
-                self._validate_ptr = (
-                    self._entries.index(entry) + 1
-                ) % n
+                self._validate_ptr = (idx + 1) % n
                 return entry
         return None
 

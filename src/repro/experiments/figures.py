@@ -9,15 +9,21 @@ thin wrappers that time these functions and print the rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis import metrics
 from ..analysis.tables import format_heatmap, format_stacked, format_table
-from ..htm.stats import AbortReason
-from ..sim.config import ForwardClass, HTMConfig, SystemKind, table2_config
+from ..sim.config import ForwardClass, SystemKind, table2_config
 from ..sim.results import SimulationResult
-from .registry import ALL_SYSTEMS, SENSITIVE_WORKLOADS, get_experiment
-from .runner import run_cached
+from .registry import (
+    ALL_SYSTEMS,
+    RETRY_SWEEP,
+    VALIDATION_INTERVALS,
+    VSB_SIZES,
+    experiment_configs,
+    get_experiment,
+)
+from .runner import run_cached, run_many
 
 
 @dataclass
@@ -58,12 +64,24 @@ def _baselines(workloads) -> Dict[str, SimulationResult]:
     return {w: run_cached(w, SystemKind.BASELINE) for w in workloads}
 
 
+def _prefetch(figure_id: str, workloads, **params) -> None:
+    """Batch-run a figure's declared config set before assembly.
+
+    Every figure declares its cells up front (see
+    :func:`repro.experiments.registry.experiment_configs`), so the
+    parallel runner can execute them ``REPRO_WORKERS``-wide; the
+    ``run_cached`` calls that build the series then hit the warm cache.
+    """
+    run_many(experiment_configs(figure_id, workloads, **params))
+
+
 # ----------------------------------------------------------------------
 # Fig. 1 — naive requester-speculates vs baseline.
 # ----------------------------------------------------------------------
 def fig1(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig1")
     workloads = workloads or exp.workloads
+    _prefetch("fig1", workloads)
     base = _baselines(workloads)
     naive = {w: run_cached(w, SystemKind.NAIVE_RS) for w in workloads}
     series = {
@@ -100,6 +118,7 @@ _SYSTEM_LABELS = {
 def fig4(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig4")
     workloads = workloads or exp.workloads
+    _prefetch("fig4", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
     base = runs[SystemKind.BASELINE]
     series = {
@@ -129,6 +148,7 @@ def fig4(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
 def fig5(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig5")
     workloads = workloads or exp.workloads
+    _prefetch("fig5", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
     base = runs[SystemKind.BASELINE]
     series = {
@@ -176,6 +196,7 @@ def fig5(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
 def fig6(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig6")
     workloads = workloads or exp.workloads
+    _prefetch("fig6", workloads)
     runs = _sweep(workloads, exp.systems)
     stacks: Dict[str, Dict[str, Dict[str, float]]] = {}
     survival: Dict[str, Dict[str, float]] = {}
@@ -229,6 +250,7 @@ def fig6(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
 def fig7(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig7")
     workloads = workloads or exp.workloads
+    _prefetch("fig7", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
     base = runs[SystemKind.BASELINE]
     series = {
@@ -254,6 +276,7 @@ def fig7(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
 def fig8(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig8")
     workloads = workloads or exp.workloads
+    _prefetch("fig8", workloads)
     classes = (ForwardClass.RW, ForwardClass.W, ForwardClass.R_RESTRICT_W)
     series: Dict[str, Dict[str, float]] = {}
     raw: Dict[str, Dict[str, SimulationResult]] = {}
@@ -295,6 +318,7 @@ def fig9(
 ) -> FigureResult:
     exp = get_experiment("fig9")
     workloads = workloads or exp.workloads
+    _prefetch("fig9", workloads, retries=retries)
     series: Dict[str, Dict[str, float]] = {}
     best: Dict[str, int] = {}
     for system in exp.systems:
@@ -346,6 +370,7 @@ def fig10(
 ) -> FigureResult:
     exp = get_experiment("fig10")
     workloads = workloads or exp.workloads
+    _prefetch("fig10", workloads, sizes=sizes, intervals=intervals)
     heat_time: Dict[tuple, float] = {}
     heat_aborts: Dict[tuple, float] = {}
     renderings: List[str] = []
@@ -403,6 +428,7 @@ def fig10(
 def fig11(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     exp = get_experiment("fig11")
     workloads = workloads or exp.workloads
+    _prefetch("fig11", workloads)
     base = _baselines(workloads)
     systems = (SystemKind.CHATS, SystemKind.PCHATS, SystemKind.LEVC)
     runs = _sweep(workloads, systems)

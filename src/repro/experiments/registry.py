@@ -4,15 +4,23 @@ Each entry records what the paper shows, the workloads and systems
 involved, and which bench target regenerates it — the per-experiment index
 required by DESIGN.md.  The figure functions themselves live in
 :mod:`repro.experiments.figures`.
+
+Every figure also declares its *configuration set* up front
+(:func:`experiment_configs`): the exact list of
+:class:`~repro.experiments.runner.RunConfig` cells the figure consumes.
+The parallel runner batches these — per figure, or the union across
+figures for a full report — so a multi-seed/multi-system sweep is
+wall-clock-bounded by cores instead of configs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.metrics import EVALUATION_ORDER
-from ..sim.config import SystemKind
+from ..sim.config import ForwardClass, SystemKind, table2_config
+from .runner import RunConfig
 
 
 @dataclass(frozen=True)
@@ -172,3 +180,120 @@ def get_experiment(exp_id: str) -> Experiment:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Per-figure configuration sets (consumed by the parallel runner).
+# ----------------------------------------------------------------------
+#: Parameter sweeps of the sensitivity figures (Figs. 8-10).
+FORWARD_CLASS_SWEEP = (
+    ForwardClass.RW,
+    ForwardClass.W,
+    ForwardClass.R_RESTRICT_W,
+)
+RETRY_SWEEP = (1, 2, 6, 16, 32, 64)
+VSB_SIZES = (1, 2, 4, 8)
+VALIDATION_INTERVALS = (25, 50, 100, 200)
+
+
+def _sweep_configs(workloads, systems) -> List[RunConfig]:
+    return [
+        RunConfig.make(w, system) for system in systems for w in workloads
+    ]
+
+
+def _fig1_configs(exp, workloads) -> List[RunConfig]:
+    return _sweep_configs(workloads, exp.systems)
+
+
+def _main_sweep_configs(exp, workloads) -> List[RunConfig]:
+    return _sweep_configs(workloads, ALL_SYSTEMS)
+
+
+def _fig6_configs(exp, workloads) -> List[RunConfig]:
+    return _sweep_configs(workloads, exp.systems)
+
+
+def _fig8_configs(
+    exp, workloads, classes: Tuple[ForwardClass, ...] = FORWARD_CLASS_SWEEP
+) -> List[RunConfig]:
+    return [
+        RunConfig.make(
+            w, system, htm=table2_config(system).replace(forward_class=fc)
+        )
+        for system in exp.systems
+        for fc in classes
+        for w in workloads
+    ]
+
+
+def _fig9_configs(
+    exp, workloads, retries: Tuple[int, ...] = RETRY_SWEEP
+) -> List[RunConfig]:
+    return [
+        RunConfig.make(
+            w, system, htm=table2_config(system).replace(retries=n)
+        )
+        for system in exp.systems
+        for n in retries
+        for w in workloads
+    ]
+
+
+def _fig10_configs(
+    exp,
+    workloads,
+    sizes: Tuple[int, ...] = VSB_SIZES,
+    intervals: Tuple[int, ...] = VALIDATION_INTERVALS,
+) -> List[RunConfig]:
+    return [
+        RunConfig.make(
+            w,
+            system,
+            htm=table2_config(system).replace(
+                vsb_size=size, validation_interval=interval
+            ),
+        )
+        for system in exp.systems
+        for size in sizes
+        for interval in intervals
+        for w in workloads
+    ]
+
+
+def _fig11_configs(exp, workloads) -> List[RunConfig]:
+    return _sweep_configs(
+        workloads, (SystemKind.BASELINE,) + tuple(exp.systems)
+    )
+
+
+_CONFIG_BUILDERS: Dict[str, Callable[..., List[RunConfig]]] = {
+    "fig1": _fig1_configs,
+    "fig4": _main_sweep_configs,
+    "fig5": _main_sweep_configs,
+    "fig6": _fig6_configs,
+    "fig7": _main_sweep_configs,
+    "fig8": _fig8_configs,
+    "fig9": _fig9_configs,
+    "fig10": _fig10_configs,
+    "fig11": _fig11_configs,
+}
+
+
+def experiment_configs(
+    exp_id: str,
+    workloads: Optional[Tuple[str, ...]] = None,
+    **params,
+) -> List[RunConfig]:
+    """The exact simulation cells ``exp_id`` consumes (empty for tables).
+
+    ``params`` forwards sweep overrides to the sensitivity figures
+    (``classes`` for fig8, ``retries`` for fig9, ``sizes``/``intervals``
+    for fig10).  Configurations honour the ``REPRO_*`` bench defaults at
+    call time, exactly like :func:`~repro.experiments.runner.run_cached`.
+    """
+    exp = get_experiment(exp_id)
+    builder = _CONFIG_BUILDERS.get(exp_id)
+    if builder is None:
+        return []
+    return builder(exp, tuple(workloads or exp.workloads), **params)

@@ -1,10 +1,26 @@
-"""Cached experiment runner.
+"""Cached, parallel experiment runner.
 
 Several figures are computed from the same simulations (Figs. 1, 4, 5, 6,
-7, and 11 all derive from the main six-system sweep), so results are cached
-in-process keyed by the full run configuration.  The cache makes the bench
-suite cost one simulation per distinct configuration no matter how many
-figures consume it.
+7, and 11 all derive from the main six-system sweep), so results are
+cached at two levels:
+
+* an in-process dictionary keyed by the *complete* run configuration
+  (:class:`RunConfig`), and
+* a persistent on-disk cache of JSON files under ``.repro_cache/``
+  (override with ``REPRO_CACHE_DIR``), so a figure sweep re-run in a new
+  process costs zero simulations.
+
+Cache keys are content-addressed: a SHA-256 over every field that can
+change a simulation's outcome — workload, system, the full
+:class:`~repro.sim.config.HTMConfig`, threads, seed, scale, and
+``max_events`` — plus :data:`SCHEMA_VERSION` (bump on serialization
+changes) and a fingerprint of the package's source code, so stale results
+can never survive a code change.
+
+:func:`run_many` fans a batch of configurations out over a
+``ProcessPoolExecutor`` (``REPRO_WORKERS`` processes, default 1 = serial),
+deduplicating identical configs before dispatch; a crashed worker is
+retried once and then surfaced with the offending configuration.
 
 Environment knobs:
 
@@ -13,17 +29,37 @@ Environment knobs:
   time; every figure's *shape* is stable across scales.
 * ``REPRO_THREADS`` — simulated core/thread count (default 16, Table I).
 * ``REPRO_SEED`` — workload RNG seed (default 1).
+* ``REPRO_WORKERS`` — worker processes for :func:`run_many` (default 1).
+* ``REPRO_CACHE_DIR`` — disk cache location (default ``.repro_cache``).
+* ``REPRO_NO_CACHE`` — set to ``1`` to disable the disk cache.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import os
-from typing import Dict, Optional, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..sim.config import HTMConfig, SystemKind, table2_config
 from ..sim.results import SimulationResult
 from ..sim.simulator import run_simulation
 from ..workloads.base import make_workload
+
+#: Bump when the meaning of cached payloads changes (serialization layout,
+#: result semantics); old disk entries then miss and re-run.
+SCHEMA_VERSION = 1
+
+#: Event bound used by the bench sweeps (tighter than the library default:
+#: a figure cell that livelocks should fail fast).
+DEFAULT_MAX_EVENTS = 40_000_000
+
+ProgressFn = Callable[[int, int, "RunConfig", str], None]
 
 
 def bench_scale() -> float:
@@ -38,7 +74,261 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_SEED", "1"))
 
 
-_CACHE: Dict[Tuple, SimulationResult] = {}
+def default_workers() -> int:
+    return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+
+# ----------------------------------------------------------------------
+# Run configuration and content-addressed keys.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that determines one simulation's outcome."""
+
+    workload: str
+    system: SystemKind
+    htm: HTMConfig
+    threads: int
+    seed: int
+    scale: float
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        system: SystemKind,
+        *,
+        htm: Optional[HTMConfig] = None,
+        threads: Optional[int] = None,
+        seed: Optional[int] = None,
+        scale: Optional[float] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> "RunConfig":
+        """Build a config, filling unset fields from the bench defaults."""
+        return cls(
+            workload=workload,
+            system=system,
+            htm=htm if htm is not None else table2_config(system),
+            threads=threads if threads is not None else bench_threads(),
+            seed=seed if seed is not None else bench_seed(),
+            scale=scale if scale is not None else bench_scale(),
+            max_events=max_events,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-stable representation (used for hashing)."""
+        htm = dataclasses.asdict(self.htm)
+        htm["system"] = self.htm.system.value
+        if self.htm.forward_class is not None:
+            htm["forward_class"] = self.htm.forward_class.value
+        return {
+            "workload": self.workload,
+            "system": self.system.value,
+            "htm": htm,
+            "threads": self.threads,
+            "seed": self.seed,
+            "scale": self.scale,
+            "max_events": self.max_events,
+        }
+
+    def key(self) -> str:
+        """Content-addressed cache key covering every field plus the
+        schema version and the package source fingerprint."""
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "code": _code_fingerprint(),
+                **self.to_dict(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}/{self.system.value} "
+            f"threads={self.threads} seed={self.seed} scale={self.scale} "
+            f"max_events={self.max_events}"
+        )
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _code_fingerprint() -> str:
+    """SHA-256 over the package's source files.
+
+    Any edit to the simulator invalidates every disk-cache entry, so a
+    cached result can never silently disagree with the current code.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+# ----------------------------------------------------------------------
+# Cache configuration and counters.
+# ----------------------------------------------------------------------
+_CACHE: Dict[str, SimulationResult] = {}
+_cache_dir_override: Optional[str] = None
+_disk_cache_override: Optional[bool] = None
+_default_progress: Optional["ProgressFn"] = None
+
+
+def configure(
+    *,
+    cache_dir: Optional[str] = None,
+    disk_cache: Optional[bool] = None,
+    progress: Optional["ProgressFn"] = None,
+) -> None:
+    """Override the env-derived cache settings (CLI flags, conftest).
+
+    ``progress`` installs a default callback used by every ``run_many``
+    call that does not pass its own — this is how the CLI gets progress
+    out of figure prefetches that it does not invoke directly.
+    """
+    global _cache_dir_override, _disk_cache_override, _default_progress
+    if cache_dir is not None:
+        _cache_dir_override = cache_dir
+    if disk_cache is not None:
+        _disk_cache_override = disk_cache
+    if progress is not None:
+        _default_progress = progress
+
+
+def cache_dir() -> Path:
+    if _cache_dir_override is not None:
+        return Path(_cache_dir_override)
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def disk_cache_enabled() -> bool:
+    if _disk_cache_override is not None:
+        return _disk_cache_override
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+@dataclass
+class RunnerCounters:
+    """Observability for the cache layers (asserted by tests/benches)."""
+
+    simulations: int = 0  # actual simulator executions
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def reset(self) -> None:
+        self.simulations = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+
+COUNTERS = RunnerCounters()
+
+
+def counters() -> RunnerCounters:
+    return COUNTERS
+
+
+def simulations_executed() -> int:
+    return COUNTERS.simulations
+
+
+def clear_cache() -> None:
+    """Drop the in-process cache (the disk cache is left untouched)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+# ----------------------------------------------------------------------
+# Disk cache.
+# ----------------------------------------------------------------------
+def _disk_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def _disk_load(cfg: RunConfig) -> Optional[SimulationResult]:
+    try:
+        payload = json.loads(_disk_path(cfg.key()).read_text("utf-8"))
+        return SimulationResult.from_dict(payload["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # missing or corrupt entry: treat as a miss
+
+
+def _disk_store(cfg: RunConfig, result: SimulationResult) -> None:
+    path = _disk_path(cfg.key())
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "config": cfg.to_dict(),
+                "result": result.to_dict(),
+            },
+            sort_keys=True,
+        )
+        # Write-then-rename so concurrent readers never see a torn file.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload, "utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only cache dir degrades to compute-only
+
+
+# ----------------------------------------------------------------------
+# Execution.
+# ----------------------------------------------------------------------
+def _execute(cfg: RunConfig) -> SimulationResult:
+    """Run one simulation (also the worker-process entry point)."""
+    wl = make_workload(
+        cfg.workload, threads=cfg.threads, seed=cfg.seed, scale=cfg.scale
+    )
+    return run_simulation(
+        wl, cfg.system, htm=cfg.htm, max_events=cfg.max_events
+    )
+
+
+def _lookup(cfg: RunConfig, key: str) -> Optional[SimulationResult]:
+    hit = _CACHE.get(key)
+    if hit is not None:
+        COUNTERS.memory_hits += 1
+        return hit
+    if disk_cache_enabled():
+        result = _disk_load(cfg)
+        if result is not None:
+            COUNTERS.disk_hits += 1
+            _CACHE[key] = result
+            return result
+    return None
+
+
+def _store(cfg: RunConfig, key: str, result: SimulationResult) -> None:
+    _CACHE[key] = result
+    if disk_cache_enabled():
+        _disk_store(cfg, result)
+
+
+def run_config(cfg: RunConfig, *, use_cache: bool = True) -> SimulationResult:
+    """Run (or fetch) the simulation described by ``cfg``."""
+    key = cfg.key()
+    if use_cache:
+        hit = _lookup(cfg, key)
+        if hit is not None:
+            return hit
+    result = _execute(cfg)
+    COUNTERS.simulations += 1
+    if use_cache:
+        _store(cfg, key, result)
+    return result
 
 
 def run_cached(
@@ -49,26 +339,143 @@ def run_cached(
     threads: Optional[int] = None,
     seed: Optional[int] = None,
     scale: Optional[float] = None,
-    max_events: int = 40_000_000,
+    max_events: int = DEFAULT_MAX_EVENTS,
 ) -> SimulationResult:
     """Run (or fetch) one simulation with bench defaults."""
-    threads = threads if threads is not None else bench_threads()
-    seed = seed if seed is not None else bench_seed()
-    scale = scale if scale is not None else bench_scale()
-    htm = htm if htm is not None else table2_config(system)
-    key = (workload, htm, threads, seed, scale)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    wl = make_workload(workload, threads=threads, seed=seed, scale=scale)
-    result = run_simulation(wl, system, htm=htm, max_events=max_events)
-    _CACHE[key] = result
-    return result
+    return run_config(
+        RunConfig.make(
+            workload,
+            system,
+            htm=htm,
+            threads=threads,
+            seed=seed,
+            scale=scale,
+            max_events=max_events,
+        )
+    )
 
 
-def clear_cache() -> None:
-    _CACHE.clear()
+# ----------------------------------------------------------------------
+# Parallel fan-out.
+# ----------------------------------------------------------------------
+def _notify(
+    progress: Optional[ProgressFn],
+    done: int,
+    total: int,
+    cfg: RunConfig,
+    source: str,
+) -> None:
+    if progress is not None:
+        progress(done, total, cfg, source)
 
 
-def cache_size() -> int:
-    return len(_CACHE)
+def _retry_serial(cfg: RunConfig, cause: BaseException) -> SimulationResult:
+    """Second (and last) attempt for a config whose first run failed."""
+    try:
+        return _execute(cfg)
+    except Exception as exc:
+        raise RuntimeError(
+            f"simulation failed twice for config [{cfg.describe()}]: {exc}"
+        ) from cause
+
+
+def run_many(
+    configs: Iterable[RunConfig],
+    *,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> List[SimulationResult]:
+    """Run a batch of configurations, in parallel when ``workers > 1``.
+
+    Identical configs are deduplicated before dispatch and each distinct
+    simulation runs exactly once; results come back in input order.  With
+    ``workers=1`` (the ``REPRO_WORKERS`` default) everything runs serially
+    in-process.  A worker that dies is retried once; a second failure
+    raises with the offending configuration.
+    """
+    configs = list(configs)
+    if progress is None:
+        progress = _default_progress
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, min(workers, os.cpu_count() or 1))
+
+    # Deduplicate, preserving first-occurrence order.
+    unique: Dict[str, RunConfig] = {}
+    for cfg in configs:
+        unique.setdefault(cfg.key(), cfg)
+
+    results: Dict[str, SimulationResult] = {}
+    misses: List[RunConfig] = []
+    total = len(unique)
+    done = 0
+    for key, cfg in unique.items():
+        hit = _lookup(cfg, key) if use_cache else None
+        if hit is not None:
+            results[key] = hit
+            done += 1
+            _notify(progress, done, total, cfg, "cached")
+        else:
+            misses.append(cfg)
+
+    if workers <= 1 or len(misses) <= 1:
+        for cfg in misses:
+            try:
+                result = _execute(cfg)
+            except Exception as exc:
+                result = _retry_serial(cfg, exc)
+            COUNTERS.simulations += 1
+            results[cfg.key()] = result
+            done += 1
+            _notify(progress, done, total, cfg, "run")
+    elif misses:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(misses))
+            ) as pool:
+                futures = {pool.submit(_execute, cfg): cfg for cfg in misses}
+                retried: set = set()
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in finished:
+                        cfg = futures.pop(fut)
+                        try:
+                            result = fut.result()
+                        except BrokenProcessPool:
+                            raise  # pool is gone: fall back to serial below
+                        except Exception as exc:
+                            if cfg.key() in retried:
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                raise RuntimeError(
+                                    "simulation failed twice for config "
+                                    f"[{cfg.describe()}]: {exc}"
+                                ) from exc
+                            retried.add(cfg.key())
+                            retry = pool.submit(_execute, cfg)
+                            futures[retry] = cfg
+                            pending.add(retry)
+                            continue
+                        COUNTERS.simulations += 1
+                        results[cfg.key()] = result
+                        done += 1
+                        _notify(progress, done, total, cfg, "run")
+        except BrokenProcessPool as crash:
+            # A worker died hard (signal/OOM): finish the remainder
+            # serially, retrying each config at most once in total.
+            for cfg in misses:
+                if cfg.key() in results:
+                    continue
+                result = _retry_serial(cfg, crash)
+                COUNTERS.simulations += 1
+                results[cfg.key()] = result
+                done += 1
+                _notify(progress, done, total, cfg, "run")
+
+    if use_cache:
+        for cfg in misses:
+            _store(cfg, cfg.key(), results[cfg.key()])
+    return [results[cfg.key()] for cfg in configs]

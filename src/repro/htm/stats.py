@@ -11,10 +11,11 @@ These counters back the paper's evaluation figures:
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 
 class AbortReason(Enum):
@@ -122,6 +123,40 @@ class HTMStats:
             }
             for label in sorted(labels)
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of every counter (disk cache)."""
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "aborts":
+                out[f.name] = {r.value: n for r, n in value.items() if n}
+            elif isinstance(value, Counter):
+                out[f.name] = {k: n for k, n in value.items() if n}
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HTMStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected by the
+        dataclass constructor, missing counters default to zero."""
+        kwargs: Dict[str, object] = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            if f.name == "aborts":
+                kwargs[f.name] = Counter(
+                    {AbortReason(k): int(n) for k, n in value.items()}
+                )
+            elif f.name in ("label_commits", "label_aborts"):
+                kwargs[f.name] = Counter(
+                    {str(k): int(n) for k, n in value.items()}
+                )
+            else:
+                kwargs[f.name] = int(value)
+        return cls(**kwargs)
 
     def merge(self, other: "HTMStats") -> None:
         """Accumulate another core's counters into this one."""

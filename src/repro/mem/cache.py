@@ -112,11 +112,11 @@ class L1Cache:
         the ablation switch off, plain LRU applies — evicting whatever is
         oldest, including SM lines (which then costs a capacity abort)."""
         if self.config.write_set_aware_replacement:
-            non_spec = [l for l in cset.values() if not l.speculative]
+            non_spec = [ln for ln in cset.values() if not ln.speculative]
             pool = non_spec if non_spec else list(cset.values())
         else:
             pool = list(cset.values())
-        return min(pool, key=lambda l: l.last_use).block
+        return min(pool, key=lambda ln: ln.last_use).block
 
     def mark_speculative(self, block: int) -> None:
         line = self._set_of(block).get(block)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Optional, Set
+from typing import Deque, Dict, Optional, Set
 
 from ..net.messages import DIRECTORY, Message, MessageKind
 from ..net.network import Crossbar

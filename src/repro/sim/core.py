@@ -25,7 +25,7 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 from ..core.validation import ValidationController
 from ..htm.fallback import LOCK_FREE, LOCK_HELD
 from ..htm.stats import AbortReason, AttemptOutcome
-from ..htm.txstate import TxState, TxStatus
+from ..htm.txstate import TxState
 from .ops import Abort, AtomicCAS, Read, Txn, Work, Write
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -71,11 +71,22 @@ class Engine:
 
         ``until`` bounds simulated time; ``max_events`` bounds host work
         (a deadlock/livelock backstop for tests).  Returns the final cycle.
+
+        Contract for bounded runs: after ``run(until=N)`` the clock reads
+        ``N`` (unless it was already past ``N``) even when the queue
+        drained early, so back-to-back bounded runs observe a consistent,
+        monotonic clock.
         """
         processed = 0
         while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+            head = self._queue[0]
+            if head[2].cancelled:
+                # Discard lazily so the ``until`` check below always sees
+                # a live event (a cancelled head must not let ``step``
+                # run a later event past the bound).
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head[0] > until:
                 break
             if max_events is not None and processed >= max_events:
                 raise RuntimeError(
@@ -84,8 +95,12 @@ class Engine:
                 )
             if self.step():
                 processed += 1
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        """Number of live (non-cancelled) queued events."""
+        return sum(
+            1 for _, _, token, _, _ in self._queue if not token.cancelled
+        )

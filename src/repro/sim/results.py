@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping
 
 from ..htm.stats import HTMStats
 
@@ -52,6 +52,35 @@ class SimulationResult:
         if baseline.cycles == 0:
             raise ValueError("degenerate baseline with zero cycles")
         return self.cycles / baseline.cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-serializable form (the disk-cache payload)."""
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "cycles": self.cycles,
+            "stats": self.stats.to_dict(),
+            "network": dict(self.network),
+            "directory": dict(self.directory),
+            "lock_acquisitions": self.lock_acquisitions,
+            "power_grants": self.power_grants,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`: round-trips to an equal result."""
+        return cls(
+            workload=str(data["workload"]),
+            system=str(data["system"]),
+            cycles=int(data["cycles"]),
+            stats=HTMStats.from_dict(data["stats"]),
+            network={str(k): int(v) for k, v in data["network"].items()},
+            directory={str(k): int(v) for k, v in data["directory"].items()},
+            lock_acquisitions=int(data["lock_acquisitions"]),
+            power_grants=int(data["power_grants"]),
+            events=int(data["events"]),
+        )
 
     def summary(self) -> Dict[str, object]:
         return {

@@ -16,7 +16,7 @@ pre-drawn candidate.
 
 from __future__ import annotations
 
-from typing import Generator, List, Tuple
+from typing import Generator, List
 
 from ...mem.memory import MainMemory
 from ...sim.ops import Read, Txn, Work, Write

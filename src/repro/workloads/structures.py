@@ -21,7 +21,7 @@ Pointers are simulated byte addresses; the null pointer is 0.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List
 
 from ..mem.address import AddressSpace
 from ..mem.memory import MainMemory

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Generator, List
 
 from ..mem.memory import MainMemory
-from ..sim.ops import Read, Txn, Work, Write
+from ..sim.ops import Txn, Work, Write
 from .base import Workload, register
 from .structures import NodePool, SimArray, SimCounter, SimLinkedList
 

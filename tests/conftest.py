@@ -7,7 +7,7 @@ import pytest
 from repro.mem.address import AddressSpace, Geometry
 from repro.mem.memory import MainMemory
 from repro.sim.config import HTMConfig, SystemConfig, SystemKind, table2_config
-from repro.sim.simulator import Simulator, run_simulation
+from repro.sim.simulator import Simulator
 from repro.workloads.scripted import ScriptedWorkload
 
 

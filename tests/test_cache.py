@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.mem.cache import CacheLine, CapacityAbort, L1Cache
+from repro.mem.cache import CapacityAbort, L1Cache
 from repro.sim.config import SystemConfig
 
 

@@ -26,8 +26,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_cache_and_worker_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig4", "--workers", "4", "--no-cache",
+             "--cache-dir", "/tmp/repro-cache"]
+        )
+        assert args.workers == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/repro-cache"
+
+    def test_cache_flags_default_off(self):
+        for argv in (["run", "counter"], ["figure", "fig4"], ["report"]):
+            args = build_parser().parse_args(argv)
+            assert args.workers is None
+            assert args.no_cache is False
+            assert args.cache_dir is None
+
 
 class TestExecution:
+    @pytest.fixture(autouse=True)
+    def _tmp_cache(self, tmp_path, monkeypatch):
+        """Keep CLI-driven runs from writing a cache into the repo."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        yield
+        # main() installs a default progress printer; don't leak it into
+        # later tests' stderr.
+        from repro.experiments import runner
+
+        runner._default_progress = None
+
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -5,7 +5,7 @@ import pytest
 
 from repro.htm.stats import AbortReason
 from repro.sim.config import SystemConfig, SystemKind, table2_config
-from repro.sim.ops import Abort, AtomicCAS, Read, Txn, Work, Write
+from repro.sim.ops import Abort, Read, Txn, Work, Write
 from tests.conftest import run_scripted
 
 X = 0x10_0000

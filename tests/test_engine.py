@@ -76,6 +76,16 @@ class TestCancellation:
         token.cancel()
         engine.run()
 
+    def test_pending_counts_live_events_only(self):
+        engine = Engine()
+        tokens = [engine.schedule(5, lambda: None) for _ in range(3)]
+        assert engine.pending() == 3
+        tokens[1].cancel()
+        assert engine.pending() == 2
+        tokens[0].cancel()
+        tokens[2].cancel()
+        assert engine.pending() == 0
+
 
 class TestRunBounds:
     def test_until_bound(self):
@@ -85,6 +95,52 @@ class TestRunBounds:
         engine.schedule(50, fired.append, "late")
         engine.run(until=10)
         assert fired == ["early"]
+        assert engine.pending() == 1
+
+    def test_bounded_run_advances_clock_to_bound(self):
+        """Back-to-back bounded runs must observe a consistent clock:
+        run(until=N) leaves now == N, not at the last processed event."""
+        engine = Engine()
+        engine.schedule(5, lambda: None)
+        assert engine.run(until=10) == 10
+        assert engine.now == 10
+
+    def test_bounded_run_on_drained_queue_advances(self):
+        engine = Engine()
+        assert engine.run(until=7) == 7
+        assert engine.now == 7
+
+    def test_bounded_runs_are_monotonic(self):
+        engine = Engine()
+        engine.schedule(12, lambda: None)
+        engine.run()
+        assert engine.now == 12
+        # A stale bound must not rewind the clock.
+        assert engine.run(until=5) == 12
+
+    def test_back_to_back_bounded_runs_consistent(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(3, lambda: seen.append(engine.now))
+        engine.schedule(25, lambda: seen.append(engine.now))
+        engine.run(until=10)
+        assert engine.now == 10
+        engine.schedule(5, lambda: seen.append(engine.now))  # fires at 15
+        engine.run(until=20)
+        assert engine.now == 20
+        engine.run(until=30)
+        assert seen == [3, 15, 25]
+
+    def test_cancelled_head_does_not_leak_past_bound(self):
+        """A cancelled event before the bound must not let a live event
+        beyond the bound fire."""
+        engine = Engine()
+        fired = []
+        token = engine.schedule(5, fired.append, "cancelled")
+        engine.schedule(50, fired.append, "late")
+        token.cancel()
+        engine.run(until=10)
+        assert fired == []
         assert engine.pending() == 1
 
     def test_max_events_raises(self):

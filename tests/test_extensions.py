@@ -3,11 +3,10 @@ configuration, ablation switches, and simulator failure modes."""
 
 import pytest
 
-from repro.htm.stats import AbortReason, HTMStats
+from repro.htm.stats import HTMStats
 from repro.sim.config import SystemConfig, SystemKind, table2_config
 from repro.sim.ops import Abort, Read, Txn, Work, Write
 from repro.sim.simulator import DeadlockError, Simulator
-from repro.workloads.base import make_workload
 from repro.workloads.scripted import ScriptedWorkload
 from tests.conftest import run_scripted
 

@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim.config import SystemConfig, SystemKind, table2_config
 from repro.sim.invariants import check_invariants, check_quiescent
-from repro.sim.ops import AtomicCAS, Read, Txn, Work, Write
+from repro.sim.ops import Read, Txn, Work, Write
 from repro.sim.simulator import Simulator
 from repro.workloads.scripted import ScriptedWorkload
 

@@ -8,11 +8,6 @@ import pytest
 
 from repro.core.policies import (
     BaselineRW,
-    CHATS,
-    LEVCBEIdealized,
-    NaiveRS,
-    PCHATS,
-    Power,
     Resolution,
     make_policy,
 )

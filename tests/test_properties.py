@@ -8,14 +8,13 @@ general random programs we check against the set of final states produced
 by all serial permutations (for small thread counts).
 """
 
-import itertools
 
 from hypothesis import given, settings, strategies as st
 
 from repro.mem.address import Geometry
 from repro.sim.config import SystemKind
 from repro.sim.ops import Read, Txn, Work, Write
-from tests.conftest import ALL_SYSTEMS, run_scripted
+from tests.conftest import run_scripted
 
 GEOMETRY = Geometry()
 BASE = 0x20_0000

@@ -8,7 +8,7 @@ from repro.mem.directory import Directory
 from repro.mem.memory import MainMemory
 from repro.net.messages import DIRECTORY, Message, MessageKind
 from repro.net.network import Crossbar
-from repro.sim.config import SystemConfig, SystemKind
+from repro.sim.config import SystemConfig
 from repro.sim.engine import Engine
 from repro.sim.ops import Abort, AtomicCAS, Read, ThreadOp, Txn, TxOp, Work, Write
 

@@ -8,7 +8,6 @@ aborts, cascading aborts, and cycle avoidance — the behaviours of
 Sections III and IV.
 """
 
-import pytest
 
 from repro.htm.stats import AbortReason
 from repro.sim.config import SystemKind

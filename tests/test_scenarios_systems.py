@@ -2,10 +2,9 @@
 token, capacity aborts, explicit aborts, non-transactional conflicts,
 naive R-S, and LEVC behaviours."""
 
-import pytest
 
 from repro.htm.stats import AbortReason
-from repro.sim.config import SystemConfig, SystemKind, table2_config
+from repro.sim.config import SystemConfig, SystemKind
 from repro.sim.ops import Abort, AtomicCAS, Read, Txn, Work, Write
 from tests.conftest import run_scripted
 

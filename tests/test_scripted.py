@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.config import SystemKind
-from repro.sim.ops import Read, Txn, Work, Write
+from repro.sim.ops import Read, Work, Write
 from repro.workloads.scripted import ScriptedWorkload
 from tests.conftest import run_scripted
 

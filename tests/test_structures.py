@@ -23,7 +23,6 @@ from repro.workloads.structures import (
     SimLinkedList,
     SimQueue,
 )
-from tests.conftest import run_scripted
 
 
 def interpret(memory: MainMemory, gen):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.vsb import ValidationStateBuffer
+from repro.core.vsb import ValidationStateBuffer, VSBEntry
 
 BLOCK_A = (1, 2, 3, 4, 5, 6, 7, 8)
 BLOCK_B = (8, 7, 6, 5, 4, 3, 2, 1)
@@ -80,6 +80,36 @@ class TestRoundRobin:
 
     def test_empty_returns_none(self):
         assert ValidationStateBuffer(4).next_to_validate() is None
+
+    def test_rotation_fair_with_value_equal_entries(self):
+        """Regression: the pointer used to advance via
+        ``list.index(entry)``; VSBEntry compares by value, so two equal
+        entries in different slots rewound the pointer and starved the
+        slots after the first twin."""
+        vsb = ValidationStateBuffer(3)
+        vsb._entries[0] = VSBEntry(True, 5, BLOCK_A)
+        vsb._entries[1] = VSBEntry(True, 5, BLOCK_A)  # value-equal twin
+        vsb._entries[2] = VSBEntry(True, 6, BLOCK_B)
+        picked = [vsb.next_to_validate() for _ in range(6)]
+        slots = [
+            next(i for i, e in enumerate(vsb._entries) if e is p)
+            for p in picked
+        ]
+        # Strict round-robin over slots; the buggy index() walk yielded
+        # [0, 1, 1, 1, ...] and never validated slot 2.
+        assert slots == [0, 1, 2, 0, 1, 2]
+
+    def test_rotation_fair_across_retire_reinsert(self):
+        """Pointer stays fair when slots are recycled mid-rotation."""
+        vsb = ValidationStateBuffer(3)
+        for block in (1, 2, 3):
+            vsb.insert(block, BLOCK_A)
+        assert vsb.next_to_validate().block == 1
+        vsb.retire(1)
+        vsb.insert(4, BLOCK_A)  # lands in slot 0
+        assert vsb.next_to_validate().block == 2
+        assert vsb.next_to_validate().block == 3
+        assert vsb.next_to_validate().block == 4
 
     def test_skips_retired(self):
         vsb = ValidationStateBuffer(4)
