@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a trace file produced by ``repro run --trace`` / ``repro trace``.
+
+JSONL traces are checked line by line: every line must parse as a JSON
+object whose ``kind`` names a registered probe event type, carrying the
+fields that event declares (extra/missing keys fail), with a
+non-negative integer ``cycle`` that never decreases across the file
+(the bus is the engine's event order).
+
+Chrome traces (``--format chrome``) are checked structurally: a single
+JSON object with a ``traceEvents`` list, B/E slices balanced per track,
+and per-track monotonic timestamps.
+
+Exit status 0 iff the trace is valid; used by CI on a tiny smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import EVENT_TYPES  # noqa: E402
+
+
+def check_jsonl(path: str) -> int:
+    import dataclasses
+
+    fields = {
+        kind: {f.name for f in dataclasses.fields(cls)}
+        for kind, cls in EVENT_TYPES.items()
+    }
+    optional = {
+        kind: {
+            f.name
+            for f in dataclasses.fields(cls)
+            if f.default is None
+        }
+        for kind, cls in EVENT_TYPES.items()
+    }
+    count = 0
+    last_cycle = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                return fail(f"line {lineno}: empty line")
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                return fail(f"line {lineno}: not JSON ({exc})")
+            if not isinstance(record, dict):
+                return fail(f"line {lineno}: not an object")
+            kind = record.get("kind")
+            if kind not in fields:
+                return fail(f"line {lineno}: unknown kind {kind!r}")
+            have = set(record) - {"kind"}
+            want = fields[kind]
+            if not (want - optional[kind] <= have <= want):
+                return fail(
+                    f"line {lineno}: {kind} fields {sorted(have)} != "
+                    f"declared {sorted(want)}"
+                )
+            cycle = record.get("cycle")
+            if not isinstance(cycle, int) or cycle < 0:
+                return fail(f"line {lineno}: bad cycle {cycle!r}")
+            if cycle < last_cycle:
+                return fail(
+                    f"line {lineno}: cycle {cycle} < previous {last_cycle}"
+                )
+            last_cycle = cycle
+            count += 1
+    if count == 0:
+        return fail("trace is empty")
+    print(f"OK: {count} events, cycles 0..{last_cycle}")
+    return 0
+
+
+def check_chrome(path: str) -> int:
+    try:
+        payload = json.loads(Path(path).read_text("utf-8"))
+    except ValueError as exc:
+        return fail(f"not JSON ({exc})")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("missing or empty traceEvents")
+    last_ts: dict = {}
+    depth: dict = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts, tid = ev.get("ts"), ev.get("tid")
+        if not isinstance(ts, int) or ts < 0:
+            return fail(f"entry {i}: bad ts {ts!r}")
+        if ts < last_ts.get(tid, 0):
+            return fail(f"entry {i}: ts {ts} regresses on track {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            depth[tid] = depth.get(tid, 0) + 1
+        elif ph == "E":
+            depth[tid] = depth.get(tid, 0) - 1
+            if depth[tid] < 0:
+                return fail(f"entry {i}: E without B on track {tid}")
+    unbalanced = {tid: d for tid, d in depth.items() if d}
+    if unbalanced:
+        return fail(f"unbalanced slices: {unbalanced}")
+    print(f"OK: {len(events)} entries on {len(last_ts)} track(s)")
+    return 0
+
+
+def fail(msg: str) -> int:
+    print(f"INVALID TRACE: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file to validate")
+    parser.add_argument(
+        "--format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="expected trace format (default: jsonl)",
+    )
+    args = parser.parse_args(argv)
+    if args.format == "chrome":
+        return check_chrome(args.trace)
+    return check_jsonl(args.trace)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

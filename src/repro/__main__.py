@@ -13,7 +13,18 @@ Subcommands:
       python -m repro figure fig4
       python -m repro figure fig9 --scale 0.25
 
+* ``trace`` — run one workload with the instrumentation bus recording
+  every probe event, write the trace (JSONL or Chrome ``trace_event``
+  for Perfetto), and optionally dump reconstructed forwarding chains::
+
+      python -m repro trace synth --system chats --out trace.jsonl
+      python -m repro trace synth --format chrome --out trace.json --chains
+
 * ``list`` — list registered workloads, systems, and experiments.
+
+``run`` also accepts ``--trace FILE`` / ``--trace-format {jsonl,chrome}``
+(shorthand for the ``trace`` subcommand) and ``--timeline W`` to print a
+per-``W``-cycle activity table from the run's interval metrics.
 
 ``run``, ``figure``, and ``report`` share the experiment runner's cache
 and parallelism flags: ``--workers N`` fans simulations out over N
@@ -84,14 +95,87 @@ def _apply_runner_flags(args: argparse.Namespace) -> None:
 
 
 def _progress_printer(done: int, total: int, cfg, source: str) -> None:
+    manifest = runner.last_manifest()
+    elapsed = ""
+    if manifest is not None:
+        entry = manifest.entry_for(cfg)
+        if entry is not None and entry.source == "run":
+            elapsed = f"  ({entry.seconds:.2f}s)"
     print(
-        f"  [{done:>3d}/{total}] {source:<6s} {cfg.describe()}",
+        f"  [{done:>3d}/{total}] {source:<6s} {cfg.describe()}{elapsed}",
         file=sys.stderr,
     )
+    if done == total and manifest is not None and manifest.entries:
+        print(f"  [runner] {manifest.summary()}", file=sys.stderr)
+
+
+def _print_timeline(result) -> None:
+    from .analysis.tables import format_timeline
+
+    print()
+    print(
+        format_timeline(
+            f"Activity timeline — {result.workload}/{result.system} "
+            f"(window={result.intervals['window']:,} cycles)",
+            result.intervals,
+        )
+    )
+
+
+def _traced_run(args, out_path: str, fmt: str, *, chains: bool = False) -> int:
+    """Shared engine of ``run --trace`` and the ``trace`` subcommand.
+
+    Tracing wants the live event stream, so this always executes a fresh
+    simulation (the disk cache stores results, not event streams).
+    """
+    from .obs import ChainInspector, ChromeTraceExporter, JsonlTraceWriter
+    from .sim.config import table2_config
+    from .sim.simulator import Simulator
+    from .workloads.base import make_workload
+
+    system = _system_from_name(args.system)
+    workload = make_workload(
+        args.workload, threads=args.threads, seed=args.seed, scale=args.scale
+    )
+    sim = Simulator(workload, htm=table2_config(system))
+    writer = None
+    exporter = None
+    if fmt == "chrome":
+        exporter = ChromeTraceExporter()
+        sim.probe.subscribe(exporter)
+    else:
+        writer = JsonlTraceWriter(out_path)
+        sim.probe.subscribe(writer)
+    inspector = ChainInspector(sim).attach() if chains else None
+    try:
+        result = sim.run(
+            max_events=80_000_000, metrics_window=getattr(args, "timeline", None)
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+    if exporter is not None:
+        recorded = exporter.events_recorded
+        exporter.write(out_path)
+    else:
+        recorded = writer.events_written
+    _print_result(result)
+    if result.intervals is not None:
+        _print_timeline(result)
+    if inspector is not None:
+        print()
+        print(inspector.render())
+    print(f"\ntrace            : {recorded:,} events -> {out_path} ({fmt})")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     _apply_runner_flags(args)
+    if args.trace is not None:
+        if args.all_systems:
+            raise SystemExit("--trace records one system at a time; "
+                             "drop --all-systems or pick --system")
+        return _traced_run(args, args.trace, args.trace_format)
     systems = (
         list(all_system_kinds())
         if args.all_systems
@@ -105,6 +189,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             scale=args.scale,
             max_events=80_000_000,
+            metrics_window=args.timeline,
         )
         for system in systems
     ]
@@ -122,7 +207,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         else:
             _print_result(result)
+    for result in results:
+        if result.intervals is not None:
+            _print_timeline(result)
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    _apply_runner_flags(args)
+    return _traced_run(args, args.out, args.format, chains=args.chains)
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -141,6 +234,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         cfg for fid in sorted(FIGURES) for cfg in experiment_configs(fid)
     ]
     runner.run_many(union, progress=_progress_printer)
+    sweep_manifest = runner.last_manifest()
     for fid in sorted(FIGURES):
         result = run_figure(fid)
         print()
@@ -153,6 +247,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         f"memory_hits={counters.memory_hits} disk_hits={counters.disk_hits}",
         file=sys.stderr,
     )
+    if sweep_manifest is not None and sweep_manifest.entries:
+        print(f"[runner] sweep: {sweep_manifest.summary()}", file=sys.stderr)
     return 0
 
 
@@ -215,7 +311,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--threads", type=int, default=16)
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--scale", type=float, default=0.4)
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record every probe event to FILE (forces a fresh, "
+        "uncached simulation)",
+    )
+    p_run.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: one JSON object per line, or Chrome "
+        "trace_event JSON for Perfetto (default: jsonl)",
+    )
+    p_run.add_argument(
+        "--timeline",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="collect interval metrics in CYCLES-wide windows and print "
+        "an activity timeline table",
+    )
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one workload with full event tracing",
+        parents=[cache_flags],
+    )
+    p_trace.add_argument("workload", choices=workload_names())
+    p_trace.add_argument(
+        "--system", default="chats", help="HTM system (default: chats)"
+    )
+    p_trace.add_argument("--threads", type=int, default=16)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--scale", type=float, default=0.4)
+    p_trace.add_argument(
+        "--out",
+        default="trace.jsonl",
+        metavar="FILE",
+        help="trace output path (default: trace.jsonl)",
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format (default: jsonl)",
+    )
+    p_trace.add_argument(
+        "--chains",
+        action="store_true",
+        help="reconstruct and print speculative forwarding chains",
+    )
+    p_trace.add_argument(
+        "--timeline",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="also print an activity timeline with CYCLES-wide windows",
+    )
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_fig = sub.add_parser(
         "figure", help="regenerate a paper figure", parents=[cache_flags]

@@ -87,6 +87,43 @@ def format_heatmap(
     return "\n".join(lines)
 
 
+def format_timeline(
+    title: str,
+    intervals: Mapping[str, object],
+    *,
+    bar_width: int = 24,
+) -> str:
+    """Render a serialized :class:`~repro.obs.interval.IntervalMetrics`
+    time series (``{"window": W, "bins": [...]}``) as an aligned table.
+
+    One row per cycle window, with a commit-density bar so phase shifts
+    (warm-up, contention storms, fallback serialization) are visible at
+    a glance in plain text.
+    """
+    from ..obs.interval import timeline_rows
+
+    rows = timeline_rows(intervals)
+    lines = [title, "=" * len(title)]
+    if not rows:
+        lines.append("(no events recorded)")
+        return "\n".join(lines)
+    header = (
+        f"{'cycles':>12s} {'commits':>8s} {'aborts':>7s} {'forwards':>9s} "
+        f"{'vsb_peak':>9s} {'fallback':>9s} {'power':>6s}  activity"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    peak = max(row["commits"] for row in rows) or 1
+    for row in rows:
+        bar = "#" * round(bar_width * row["commits"] / peak)
+        lines.append(
+            f"{row['start']:>12,d} {row['commits']:>8d} {row['aborts']:>7d} "
+            f"{row['forwards']:>9d} {row['vsb_peak']:>9d} "
+            f"{row['fallback']:>9d} {row['power']:>6d}  {bar}"
+        )
+    return "\n".join(lines)
+
+
 def summarize_series(normalized: Mapping[str, float]) -> Dict[str, float]:
     """Min / max / mean summary of a normalized series."""
     values = list(normalized.values())

@@ -26,6 +26,7 @@ from typing import Optional, TYPE_CHECKING
 
 from ..htm.stats import AbortReason
 from ..net.messages import Message, MessageKind
+from ..obs.events import ValidationMismatch, ValidationOk, ValidationStart, VsbDrain
 from ..sim.engine import CancelToken
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,14 @@ class ValidationController:
         self._inflight = True
         epoch = tx.epoch
         self._core.stats.validations_attempted += 1
+        probe = self._core.sim.probe
+        if probe:
+            probe.emit(
+                ValidationStart(
+                    cycle=self._core.engine.now, core=self._core.core_id,
+                    block=entry.block, epoch=epoch,
+                )
+            )
         self._core.l1.issue_validation(
             tx, entry.block, lambda msg: self._on_response(epoch, msg)
         )
@@ -90,6 +99,7 @@ class ValidationController:
         if msg.kind is MessageKind.SPEC_RESP:
             if msg.data != copy:
                 core.stats.validation_mismatches += 1
+                self._emit_mismatch(tx, msg.block)
                 core.abort_tx(AbortReason.VALIDATION)
                 return
             if core.htm.validation_pic_check:
@@ -112,10 +122,26 @@ class ValidationController:
         # Genuine data with ownership.
         if msg.data != copy:
             core.stats.validation_mismatches += 1
+            self._emit_mismatch(tx, msg.block)
             core.abort_tx(AbortReason.VALIDATION)
             return
         tx.vsb.retire(msg.block)
         core.stats.validations_succeeded += 1
+        probe = core.sim.probe
+        if probe:
+            now = core.engine.now
+            probe.emit(
+                ValidationOk(
+                    cycle=now, core=core.core_id,
+                    block=msg.block, epoch=tx.epoch,
+                )
+            )
+            probe.emit(
+                VsbDrain(
+                    cycle=now, core=core.core_id,
+                    block=msg.block, occupancy=tx.vsb.occupancy(),
+                )
+            )
         core.policy.on_successful_validation(tx)
         if tx.vsb.empty:
             tx.pic.clear_cons()
@@ -123,6 +149,16 @@ class ValidationController:
                 core.finish_pending_commit()
             return
         self._reschedule(tx)
+
+    def _emit_mismatch(self, tx, block: int) -> None:
+        probe = self._core.sim.probe
+        if probe:
+            probe.emit(
+                ValidationMismatch(
+                    cycle=self._core.engine.now, core=self._core.core_id,
+                    block=block, epoch=tx.epoch,
+                )
+            )
 
     def _reschedule(self, tx) -> None:
         if self._timer is None and tx.active and not tx.vsb.empty:

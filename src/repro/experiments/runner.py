@@ -40,11 +40,12 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.config import HTMConfig, SystemKind, table2_config
 from ..sim.results import SimulationResult
@@ -92,6 +93,10 @@ class RunConfig:
     seed: int
     scale: float
     max_events: int = DEFAULT_MAX_EVENTS
+    #: Cycle width for the run's IntervalMetrics time series (``None``
+    #: keeps the instrumentation bus silent).  Part of the cache key: an
+    #: intervals-bearing result is a different payload.
+    metrics_window: Optional[int] = None
 
     @classmethod
     def make(
@@ -104,6 +109,7 @@ class RunConfig:
         seed: Optional[int] = None,
         scale: Optional[float] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
+        metrics_window: Optional[int] = None,
     ) -> "RunConfig":
         """Build a config, filling unset fields from the bench defaults."""
         return cls(
@@ -114,6 +120,7 @@ class RunConfig:
             seed=seed if seed is not None else bench_seed(),
             scale=scale if scale is not None else bench_scale(),
             max_events=max_events,
+            metrics_window=metrics_window,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -130,6 +137,7 @@ class RunConfig:
             "seed": self.seed,
             "scale": self.scale,
             "max_events": self.max_events,
+            "metrics_window": self.metrics_window,
         }
 
     def key(self) -> str:
@@ -146,11 +154,14 @@ class RunConfig:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.workload}/{self.system.value} "
             f"threads={self.threads} seed={self.seed} scale={self.scale} "
             f"max_events={self.max_events}"
         )
+        if self.metrics_window is not None:
+            text += f" metrics_window={self.metrics_window}"
+        return text
 
 
 _CODE_FINGERPRINT: Optional[str] = None
@@ -232,6 +243,79 @@ class RunnerCounters:
 COUNTERS = RunnerCounters()
 
 
+@dataclass
+class ManifestEntry:
+    """One configuration's fate in a :func:`run_many` batch."""
+
+    config: RunConfig
+    source: str  # "cached" | "run"
+    seconds: float  # wall-time: simulation for "run", lookup for "cached"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.describe(),
+            "source": self.source,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class RunManifest:
+    """Per-config wall-times and cache accounting for one batch.
+
+    Populated by :func:`run_many`; the CLI reads it back through
+    :func:`last_manifest` to print elapsed times next to progress lines
+    and a closing ``N cached / M run`` summary.
+    """
+
+    entries: List[ManifestEntry] = field(default_factory=list)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for e in self.entries if e.source == "cached")
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for e in self.entries if e.source == "run")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.entries)
+
+    def record(self, config: RunConfig, source: str, seconds: float) -> None:
+        self.entries.append(ManifestEntry(config, source, seconds))
+
+    def entry_for(self, cfg: RunConfig) -> Optional[ManifestEntry]:
+        """Most recent entry for ``cfg`` (identity, then equality)."""
+        for entry in reversed(self.entries):
+            if entry.config is cfg or entry.config == cfg:
+                return entry
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"{self.cached} cached / {self.executed} run "
+            f"in {self.total_seconds:.2f}s simulation wall-time"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cached": self.cached,
+            "run": self.executed,
+            "total_seconds": round(self.total_seconds, 6),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+_LAST_MANIFEST: Optional[RunManifest] = None
+
+
+def last_manifest() -> Optional[RunManifest]:
+    """Manifest of the most recent :func:`run_many` call (live object:
+    it fills in while the batch is still running)."""
+    return _LAST_MANIFEST
+
+
 def counters() -> RunnerCounters:
     return COUNTERS
 
@@ -293,8 +377,19 @@ def _execute(cfg: RunConfig) -> SimulationResult:
         cfg.workload, threads=cfg.threads, seed=cfg.seed, scale=cfg.scale
     )
     return run_simulation(
-        wl, cfg.system, htm=cfg.htm, max_events=cfg.max_events
+        wl,
+        cfg.system,
+        htm=cfg.htm,
+        max_events=cfg.max_events,
+        metrics_window=cfg.metrics_window,
     )
+
+
+def _execute_timed(cfg: RunConfig) -> Tuple[SimulationResult, float]:
+    """``_execute`` plus wall-time, measured inside the worker process."""
+    start = time.perf_counter()
+    result = _execute(cfg)
+    return result, time.perf_counter() - start
 
 
 def _lookup(cfg: RunConfig, key: str) -> Optional[SimulationResult]:
@@ -394,12 +489,15 @@ def run_many(
     in-process.  A worker that dies is retried once; a second failure
     raises with the offending configuration.
     """
+    global _LAST_MANIFEST
     configs = list(configs)
     if progress is None:
         progress = _default_progress
     if workers is None:
         workers = default_workers()
     workers = max(1, min(workers, os.cpu_count() or 1))
+    manifest = RunManifest()
+    _LAST_MANIFEST = manifest
 
     # Deduplicate, preserving first-occurrence order.
     unique: Dict[str, RunConfig] = {}
@@ -411,16 +509,19 @@ def run_many(
     total = len(unique)
     done = 0
     for key, cfg in unique.items():
+        start = time.perf_counter()
         hit = _lookup(cfg, key) if use_cache else None
         if hit is not None:
             results[key] = hit
             done += 1
+            manifest.record(cfg, "cached", time.perf_counter() - start)
             _notify(progress, done, total, cfg, "cached")
         else:
             misses.append(cfg)
 
     if workers <= 1 or len(misses) <= 1:
         for cfg in misses:
+            start = time.perf_counter()
             try:
                 result = _execute(cfg)
             except Exception as exc:
@@ -428,13 +529,16 @@ def run_many(
             COUNTERS.simulations += 1
             results[cfg.key()] = result
             done += 1
+            manifest.record(cfg, "run", time.perf_counter() - start)
             _notify(progress, done, total, cfg, "run")
     elif misses:
         try:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(misses))
             ) as pool:
-                futures = {pool.submit(_execute, cfg): cfg for cfg in misses}
+                futures = {
+                    pool.submit(_execute_timed, cfg): cfg for cfg in misses
+                }
                 retried: set = set()
                 pending = set(futures)
                 while pending:
@@ -444,7 +548,7 @@ def run_many(
                     for fut in finished:
                         cfg = futures.pop(fut)
                         try:
-                            result = fut.result()
+                            result, seconds = fut.result()
                         except BrokenProcessPool:
                             raise  # pool is gone: fall back to serial below
                         except Exception as exc:
@@ -455,13 +559,14 @@ def run_many(
                                     f"[{cfg.describe()}]: {exc}"
                                 ) from exc
                             retried.add(cfg.key())
-                            retry = pool.submit(_execute, cfg)
+                            retry = pool.submit(_execute_timed, cfg)
                             futures[retry] = cfg
                             pending.add(retry)
                             continue
                         COUNTERS.simulations += 1
                         results[cfg.key()] = result
                         done += 1
+                        manifest.record(cfg, "run", seconds)
                         _notify(progress, done, total, cfg, "run")
         except BrokenProcessPool as crash:
             # A worker died hard (signal/OOM): finish the remainder
@@ -469,10 +574,12 @@ def run_many(
             for cfg in misses:
                 if cfg.key() in results:
                     continue
+                start = time.perf_counter()
                 result = _retry_serial(cfg, crash)
                 COUNTERS.simulations += 1
                 results[cfg.key()] = result
                 done += 1
+                manifest.record(cfg, "run", time.perf_counter() - start)
                 _notify(progress, done, total, cfg, "run")
 
     if use_cache:

@@ -77,6 +77,10 @@ class HTMStats:
     validations_attempted: int = 0
     validations_succeeded: int = 0
     validation_mismatches: int = 0
+    # VSB occupancy gauges: the deepest any core's VSB ever got, and the
+    # total cycles commits spent fenced on a non-empty VSB (Section III-A).
+    vsb_high_water: int = 0
+    vsb_stall_cycles: int = 0
     # Per-transaction-site statistics (keyed by Txn.label, "" when unset).
     label_commits: Counter = field(default_factory=Counter)
     label_aborts: Counter = field(default_factory=Counter)
@@ -171,6 +175,9 @@ class HTMStats:
         self.validations_attempted += other.validations_attempted
         self.validations_succeeded += other.validations_succeeded
         self.validation_mismatches += other.validation_mismatches
+        # A gauge, not a counter: the merged high water is the max.
+        self.vsb_high_water = max(self.vsb_high_water, other.vsb_high_water)
+        self.vsb_stall_cycles += other.vsb_stall_cycles
         self.conflicted_committed += other.conflicted_committed
         self.conflicted_aborted += other.conflicted_aborted
         self.forwarder_committed += other.forwarder_committed

@@ -22,6 +22,8 @@ from typing import Deque, Dict, Optional, Set
 
 from ..net.messages import DIRECTORY, Message, MessageKind
 from ..net.network import Crossbar
+from ..obs.events import DirForward, DirInvRound
+from ..obs.probe import Probe
 from ..sim.config import SystemConfig
 from ..sim.engine import Engine
 from .memory import MainMemory
@@ -54,11 +56,14 @@ class Directory:
         config: SystemConfig,
         memory: MainMemory,
         network: Crossbar,
+        *,
+        probe: Optional[Probe] = None,
     ):
         self._engine = engine
         self._config = config
         self._memory = memory
         self._network = network
+        self._probe = probe if probe is not None else Probe()
         self._blocks: Dict[int, _BlockEntry] = {}
         self._ever_cached: Set[int] = set()
         # Statistics.
@@ -130,6 +135,13 @@ class Directory:
         if owner is not None and owner != msg.src:
             entry.busy = True
             self.forwards += 1
+            if self._probe:
+                self._probe.emit(
+                    DirForward(
+                        cycle=self._engine.now, block=msg.block, owner=owner,
+                        requester=msg.src, exclusive=False,
+                    )
+                )
             self._network.send(
                 self._forward(MessageKind.FWD_GETS, owner, msg),
                 extra_delay=self._config.directory_latency,
@@ -145,6 +157,13 @@ class Directory:
         if owner is not None and owner != msg.src:
             entry.busy = True
             self.forwards += 1
+            if self._probe:
+                self._probe.emit(
+                    DirForward(
+                        cycle=self._engine.now, block=msg.block, owner=owner,
+                        requester=msg.src, exclusive=True,
+                    )
+                )
             self._network.send(
                 self._forward(MessageKind.FWD_GETX, owner, msg),
                 extra_delay=self._config.directory_latency,
@@ -157,6 +176,13 @@ class Directory:
             entry.busy = True
             entry.inv_round = _InvRound(request=msg, pending=len(others))
             self.inv_rounds += 1
+            if self._probe:
+                self._probe.emit(
+                    DirInvRound(
+                        cycle=self._engine.now, block=msg.block,
+                        requester=msg.src, sharers=len(others),
+                    )
+                )
             for sharer in sorted(others):
                 self._network.send(
                     self._forward(MessageKind.INV, sharer, msg),

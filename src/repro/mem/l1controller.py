@@ -23,6 +23,8 @@ from ..htm.stats import AbortReason, HTMStats
 from ..htm.txstate import TxState
 from ..net.messages import DIRECTORY, Message, MessageKind
 from ..net.network import Crossbar
+from ..obs.events import PicUpdate, VsbInsert
+from ..obs.probe import Probe
 from ..sim.config import HTMConfig, SystemConfig
 from ..sim.engine import Engine
 from .address import Geometry
@@ -69,6 +71,7 @@ class L1Controller:
         policy: ConflictPolicy,
         stats: HTMStats,
         lock_block: int,
+        probe: Optional[Probe] = None,
     ):
         self.core_id = core_id
         self._engine = engine
@@ -80,6 +83,7 @@ class L1Controller:
         self._policy = policy
         self._stats = stats
         self._lock_block = lock_block
+        self._probe = probe if probe is not None else Probe()
         self.cache = L1Cache(config)
         self._outstanding: Dict[int, _Outstanding] = {}
         #: Set lazily by the simulator after cores are built.
@@ -364,10 +368,18 @@ class L1Controller:
         via_inv: bool = False,
     ) -> None:
         """Apply the conflict policy as the holder of ``msg.block``."""
+        pic_before = tx.pic.value
         outcome = self._policy.resolve(tx, msg, self.has_inflight_exclusive)
         if outcome.resolution is Resolution.FORWARD_SPEC:
             tx.mark_forwarded()
             self._stats.spec_forwards += 1
+            if self._probe and tx.pic.value != pic_before:
+                self._probe.emit(
+                    PicUpdate(
+                        cycle=self._engine.now, core=self.core_id,
+                        value=tx.pic.value, source="forward",
+                    )
+                )
             self._network.send(
                 Message(
                     kind=MessageKind.SPEC_RESP,
@@ -568,10 +580,28 @@ class L1Controller:
                 self._htm.nack_retry_delay, self._retry_tx_request, tx.epoch, out
             )
             return
+        occupancy = tx.vsb.occupancy()
+        if occupancy > self._stats.vsb_high_water:
+            self._stats.vsb_high_water = occupancy
         tx.store.install_received_block(out.block, msg.data)
         tx.track_write(out.block)
         tx.mark_consumed()
+        pic_before = tx.pic.value
         tx.pic.adopt_from_spec_resp(msg.pic)
+        if self._probe:
+            self._probe.emit(
+                VsbInsert(
+                    cycle=self._engine.now, core=self.core_id,
+                    block=out.block, occupancy=occupancy,
+                )
+            )
+            if tx.pic.value != pic_before:
+                self._probe.emit(
+                    PicUpdate(
+                        cycle=self._engine.now, core=self.core_id,
+                        value=tx.pic.value, source="adopt",
+                    )
+                )
         if not self._install(
             out.block, "M", speculative=True, spec_received=True
         ):

@@ -9,8 +9,10 @@ delivery time are broken by send order via the engine's FIFO tie-break.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..obs.events import MsgSent, SpecForward
+from ..obs.probe import Probe
 from ..sim.config import SystemConfig
 from ..sim.engine import Engine
 from .messages import Message, MessageKind
@@ -24,10 +26,13 @@ class Crossbar:
         engine: Engine,
         config: SystemConfig,
         deliver: Callable[[Message], None],
+        *,
+        probe: Optional[Probe] = None,
     ):
         self._engine = engine
         self._config = config
         self._deliver = deliver
+        self._probe = probe if probe is not None else Probe()
         self.flits_sent: int = 0
         self.messages_sent: int = 0
         self.flits_by_kind: Counter = Counter()
@@ -42,6 +47,33 @@ class Crossbar:
         self.flits_sent += flits
         self.messages_sent += 1
         self.flits_by_kind[msg.kind] += flits
+        probe = self._probe
+        if probe:
+            now = self._engine.now
+            probe.emit(
+                MsgSent(
+                    cycle=now,
+                    src=msg.src,
+                    dst=msg.dst,
+                    msg_kind=msg.kind.value,
+                    block=msg.block,
+                    pic=msg.pic,
+                    power=msg.power,
+                    is_validation=msg.is_validation,
+                    non_transactional=msg.non_transactional,
+                    action=msg.action,
+                )
+            )
+            if msg.kind is MessageKind.SPEC_RESP:
+                probe.emit(
+                    SpecForward(
+                        cycle=now,
+                        producer=msg.src,
+                        consumer=msg.dst,
+                        block=msg.block,
+                        pic=msg.pic,
+                    )
+                )
         delay = self._config.link_latency + extra_delay
         self._engine.schedule(delay, self._deliver, msg)
 

@@ -1,0 +1,80 @@
+"""Observability: the per-simulator instrumentation bus and its subscribers.
+
+``repro.obs`` is the cross-cutting tracing/metrics layer.  The machine
+components (:class:`~repro.sim.core.Core`,
+:class:`~repro.net.network.Crossbar`, :class:`~repro.mem.directory.Directory`,
+the L1/validation controllers, and the fallback/power paths) emit typed,
+frozen :mod:`~repro.obs.events` into a per-simulator
+:class:`~repro.obs.probe.Probe`; emission is zero-cost while no
+subscriber is attached.
+
+Shipped subscribers:
+
+* :class:`~repro.obs.tracer.Tracer` — filtered in-memory event log
+  (also re-exported from :mod:`repro.sim.tracing` for compatibility);
+* :class:`~repro.obs.interval.IntervalMetrics` — fixed-window time
+  series, serialized into :class:`~repro.sim.results.SimulationResult`;
+* :class:`~repro.obs.trace_export.JsonlTraceWriter` /
+  :class:`~repro.obs.trace_export.ChromeTraceExporter` — on-disk traces
+  (JSONL, Perfetto-loadable Chrome ``trace_event``);
+* :class:`~repro.obs.chains.ChainInspector` — forwarding-chain
+  reconstruction for post-mortem debugging.
+
+See ``docs/OBSERVABILITY.md`` for the workflow.
+"""
+
+from .chains import Chain, ChainEdge, ChainInspector
+from .events import (
+    EVENT_TYPES,
+    Abort,
+    Commit,
+    DirForward,
+    DirInvRound,
+    FallbackAcquire,
+    MsgSent,
+    PicUpdate,
+    PowerElevate,
+    ProbeEvent,
+    SpecForward,
+    TxBegin,
+    ValidationMismatch,
+    ValidationOk,
+    ValidationStart,
+    VsbDrain,
+    VsbInsert,
+)
+from .interval import DEFAULT_WINDOW, IntervalMetrics, timeline_rows
+from .probe import Probe
+from .trace_export import ChromeTraceExporter, JsonlTraceWriter
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Abort",
+    "Chain",
+    "ChainEdge",
+    "ChainInspector",
+    "ChromeTraceExporter",
+    "Commit",
+    "DEFAULT_WINDOW",
+    "DirForward",
+    "DirInvRound",
+    "EVENT_TYPES",
+    "FallbackAcquire",
+    "IntervalMetrics",
+    "JsonlTraceWriter",
+    "MsgSent",
+    "PicUpdate",
+    "PowerElevate",
+    "Probe",
+    "ProbeEvent",
+    "SpecForward",
+    "TraceEvent",
+    "Tracer",
+    "TxBegin",
+    "ValidationMismatch",
+    "ValidationOk",
+    "ValidationStart",
+    "VsbDrain",
+    "VsbInsert",
+    "timeline_rows",
+]

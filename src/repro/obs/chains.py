@@ -1,0 +1,160 @@
+"""Forwarding-chain reconstruction for post-mortem debugging.
+
+CHATS' correctness story revolves around *chains*: producer → consumer
+edges created by speculative forwarding, ordered by the PiC registers.
+When a run misbehaves (cycle aborts, cascading validation failures) the
+question is always "what did the chain look like?" — which no aggregate
+counter answers.
+
+:class:`ChainInspector` subscribes to the bus, collects every
+:class:`~repro.obs.events.SpecForward` edge (with the PiC stamped on the
+SpecResp at forward time) and every abort, then reconstructs linear
+chains by linking edges whose consumer later acts as a producer.  A
+producer forwarding to several consumers forks: the first consumer
+extends the chain, later ones start new chains anchored at the fork.
+
+Example::
+
+    inspector = ChainInspector(sim)
+    with inspector:
+        sim.run()
+    print(inspector.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .events import Abort, ProbeEvent, SpecForward
+
+
+@dataclass(frozen=True)
+class ChainEdge:
+    """One producer→consumer forwarding, with PiC at forward time."""
+
+    cycle: int
+    producer: int
+    consumer: int
+    block: int
+    pic: Optional[int]
+
+
+@dataclass
+class Chain:
+    """A maximal linear sequence of forwarding edges."""
+
+    edges: List[ChainEdge]
+
+    @property
+    def depth(self) -> int:
+        return len(self.edges)
+
+    @property
+    def cores(self) -> List[int]:
+        out = [self.edges[0].producer]
+        out.extend(e.consumer for e in self.edges)
+        return out
+
+    @property
+    def blocks(self) -> List[int]:
+        return [e.block for e in self.edges]
+
+    @property
+    def start_cycle(self) -> int:
+        return self.edges[0].cycle
+
+    @property
+    def end_cycle(self) -> int:
+        return self.edges[-1].cycle
+
+
+class ChainInspector:
+    """Probe subscriber reconstructing speculative forwarding chains."""
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        self.edges: List[ChainEdge] = []
+        #: core -> list of (cycle, reason) aborts, for attribution.
+        self.aborts: Dict[int, List[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(self, ev: ProbeEvent) -> None:
+        if isinstance(ev, SpecForward):
+            self.edges.append(
+                ChainEdge(
+                    cycle=ev.cycle,
+                    producer=ev.producer,
+                    consumer=ev.consumer,
+                    block=ev.block,
+                    pic=ev.pic,
+                )
+            )
+        elif isinstance(ev, Abort):
+            self.aborts.setdefault(ev.core, []).append((ev.cycle, ev.reason))
+
+    def attach(self) -> "ChainInspector":
+        if self.sim is None:
+            raise RuntimeError("no simulator bound; subscribe manually")
+        self.sim.probe.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        if self.sim is not None:
+            self.sim.probe.unsubscribe(self)
+
+    def __enter__(self) -> "ChainInspector":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def chains(self) -> List[Chain]:
+        """Link edges (in cycle order) into maximal linear chains."""
+        chains: List[Chain] = []
+        #: consumer core -> chain currently ending at that core.
+        open_ends: Dict[int, Chain] = {}
+        for edge in sorted(self.edges, key=lambda e: e.cycle):
+            chain = open_ends.pop(edge.producer, None)
+            if chain is None:
+                chain = Chain(edges=[edge])
+                chains.append(chain)
+            else:
+                chain.edges.append(edge)
+            open_ends[edge.consumer] = chain
+        return chains
+
+    def _abort_after(self, core: int, cycle: int) -> Optional[tuple]:
+        """First abort of ``core`` at or after ``cycle`` (if any)."""
+        for when, reason in sorted(self.aborts.get(core, [])):
+            if when >= cycle:
+                return when, reason
+        return None
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable chain dump for post-mortem debugging."""
+        chains = self.chains()
+        if not chains:
+            return "no speculative forwarding observed"
+        lines = [f"{len(chains)} chain(s), {len(self.edges)} forward(s)"]
+        for i, chain in enumerate(chains, 1):
+            lines.append(
+                f"chain #{i}: depth={chain.depth} "
+                f"cycles={chain.start_cycle}..{chain.end_cycle}"
+            )
+            hops = [f"T{chain.edges[0].producer}"]
+            for e in chain.edges:
+                pic = "power" if e.pic is None else f"PiC={e.pic}"
+                hops.append(f"-[blk={e.block:#x} {pic} @{e.cycle}]-> T{e.consumer}")
+            lines.append("  " + " ".join(hops))
+            for e in chain.edges:
+                hit = self._abort_after(e.consumer, e.cycle)
+                if hit is not None:
+                    when, reason = hit
+                    lines.append(
+                        f"  ! consumer T{e.consumer} aborted "
+                        f"({reason}) at cycle {when}"
+                    )
+        return "\n".join(lines)

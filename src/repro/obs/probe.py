@@ -1,0 +1,67 @@
+"""The per-simulator instrumentation hub.
+
+One :class:`Probe` is created by each
+:class:`~repro.sim.simulator.Simulator` and handed (by reference) to the
+components that emit events — there is no global state, so two
+simulators in the same process (or tracing resumed after an exception)
+can never cross-talk, unlike the retired class-attribute monkey-patching
+``Tracer``.
+
+Emission is *zero-cost when nobody listens*: every emit site guards the
+event construction with ``if probe: ...``, and an unsubscribed probe is
+falsy, so the hot path pays one attribute load and one branch.
+
+Example::
+
+    sim = Simulator(workload)
+    sim.probe.subscribe(print)       # stream every event
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .events import ProbeEvent
+
+Subscriber = Callable[[ProbeEvent], None]
+
+
+class Probe:
+    """Fan-out hub for typed probe events."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    def __bool__(self) -> bool:
+        """Truthy only while at least one subscriber is attached — emit
+        sites use this to skip event construction entirely."""
+        return bool(self._subscribers)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Attach ``fn``; it receives every subsequent event."""
+        if fn not in self._subscribers:
+            self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Detach ``fn``; unknown subscribers are ignored (idempotent)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    def emit(self, event: ProbeEvent) -> None:
+        """Deliver ``event`` to every subscriber, in subscription order.
+
+        The subscriber list is snapshotted so a callback may unsubscribe
+        itself (e.g. a tracer that hit its event cap) mid-delivery.
+        """
+        for fn in tuple(self._subscribers):
+            fn(event)

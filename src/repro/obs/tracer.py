@@ -1,0 +1,200 @@
+"""Structured tracing of a simulation, as an instrumentation-bus subscriber.
+
+A :class:`Tracer` attaches to a :class:`~repro.sim.simulator.Simulator`'s
+probe before ``run()`` and records typed :class:`TraceEvent` entries for
+the things a CHATS debugging session cares about: coherence messages,
+speculative forwards, validations, commits, and aborts.  Filters keep the
+trace small (by block, by core, by event kind).
+
+Unlike its retired predecessor — which monkey-patched ``Crossbar.send``
+and ``Core._do_commit`` at *class* level, leaking across concurrent
+simulators and on exceptions — the tracer is purely instance-scoped: it
+subscribes to one simulator's :class:`~repro.obs.probe.Probe` and sees
+nothing else.
+
+Example::
+
+    sim = Simulator(workload, htm=table2_config(SystemKind.CHATS))
+    with Tracer(sim, blocks={geometry.block_of(HOT)}) as trace:
+        sim.run()
+    for event in trace.events:
+        print(event)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from .events import (
+    Abort,
+    Commit,
+    DirForward,
+    DirInvRound,
+    FallbackAcquire,
+    MsgSent,
+    PicUpdate,
+    PowerElevate,
+    ProbeEvent,
+    SpecForward,
+    TxBegin,
+    ValidationMismatch,
+    ValidationOk,
+    ValidationStart,
+    VsbDrain,
+    VsbInsert,
+)
+
+#: Node id of the directory (mirrors ``repro.net.messages.DIRECTORY``
+#: without importing the protocol layer into the observability layer).
+_DIRECTORY = -1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is the emitting probe event's kind — ``message``,
+    ``forward``, ``commit``, ``abort``, ``validation-start``, ... — see
+    :data:`repro.obs.events.EVENT_TYPES` for the full taxonomy.
+    """
+
+    cycle: int
+    kind: str
+    core: Optional[int] = None
+    block: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = "" if self.core is None else f" core{self.core}"
+        blk = "" if self.block is None else f" blk={self.block:#x}"
+        return f"[{self.cycle:>8d}] {self.kind:<8s}{where}{blk} {self.detail}"
+
+
+def _node(node: int) -> str:
+    return "DIR" if node == _DIRECTORY else f"T{node}"
+
+
+def _describe_message(ev: MsgSent) -> str:
+    extras = []
+    if ev.pic is not None:
+        extras.append(f"PiC={ev.pic}")
+    if ev.is_validation:
+        extras.append("validation")
+    if ev.power:
+        extras.append("power")
+    if ev.action:
+        extras.append(ev.action)
+    if ev.non_transactional:
+        extras.append("non-tx")
+    suffix = (" " + " ".join(extras)) if extras else ""
+    return f"{_node(ev.src)}->{_node(ev.dst)} {ev.msg_kind}{suffix}"
+
+
+def _flatten(ev: ProbeEvent) -> TraceEvent:
+    """Project a typed probe event onto the (core, block, detail) shape."""
+    if isinstance(ev, MsgSent):
+        core = None if ev.src == _DIRECTORY else ev.src
+        return TraceEvent(ev.cycle, ev.kind, core, ev.block, _describe_message(ev))
+    if isinstance(ev, SpecForward):
+        return TraceEvent(
+            ev.cycle, ev.kind, ev.producer, ev.block,
+            f"-> T{ev.consumer} PiC={ev.pic}",
+        )
+    if isinstance(ev, Commit):
+        detail = f"epoch={ev.epoch}" + (" power" if ev.power else "")
+        return TraceEvent(ev.cycle, ev.kind, ev.core, None, detail)
+    if isinstance(ev, Abort):
+        return TraceEvent(
+            ev.cycle, ev.kind, ev.core, None,
+            f"epoch={ev.epoch} reason={ev.reason}",
+        )
+    if isinstance(ev, TxBegin):
+        detail = f"epoch={ev.epoch}" + (" power" if ev.power else "")
+        return TraceEvent(ev.cycle, ev.kind, ev.core, None, detail)
+    if isinstance(ev, (ValidationStart, ValidationOk, ValidationMismatch)):
+        return TraceEvent(
+            ev.cycle, ev.kind, ev.core, ev.block, f"epoch={ev.epoch}"
+        )
+    if isinstance(ev, PicUpdate):
+        return TraceEvent(
+            ev.cycle, ev.kind, ev.core, None, f"value={ev.value} ({ev.source})"
+        )
+    if isinstance(ev, (VsbInsert, VsbDrain)):
+        return TraceEvent(
+            ev.cycle, ev.kind, ev.core, ev.block, f"occupancy={ev.occupancy}"
+        )
+    if isinstance(ev, (FallbackAcquire, PowerElevate)):
+        return TraceEvent(ev.cycle, ev.kind, ev.core, None, "")
+    if isinstance(ev, DirForward):
+        return TraceEvent(
+            ev.cycle, ev.kind, None, ev.block,
+            f"owner=T{ev.owner} for T{ev.requester}"
+            + (" excl" if ev.exclusive else ""),
+        )
+    if isinstance(ev, DirInvRound):
+        return TraceEvent(
+            ev.cycle, ev.kind, None, ev.block,
+            f"sharers={ev.sharers} for T{ev.requester}",
+        )
+    return TraceEvent(ev.cycle, ev.kind)  # pragma: no cover - future kinds
+
+
+class Tracer:
+    """Context manager that subscribes to a simulator's probe and collects
+    filtered :class:`TraceEvent` entries."""
+
+    def __init__(
+        self,
+        sim,
+        *,
+        blocks: Optional[Iterable[int]] = None,
+        cores: Optional[Iterable[int]] = None,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: int = 100_000,
+    ):
+        self.sim = sim
+        self.events: List[TraceEvent] = []
+        self._blocks: Optional[Set[int]] = set(blocks) if blocks else None
+        self._cores: Optional[Set[int]] = set(cores) if cores else None
+        self._kinds: Optional[Set[str]] = set(kinds) if kinds else None
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------
+    def _wants(self, kind: str, core: Optional[int], block: Optional[int]) -> bool:
+        if len(self.events) >= self._max_events:
+            return False
+        if self._kinds is not None and kind not in self._kinds:
+            return False
+        if self._cores is not None and core is not None and core not in self._cores:
+            return False
+        if self._blocks is not None and block is not None and block not in self._blocks:
+            return False
+        return True
+
+    def __call__(self, ev: ProbeEvent) -> None:
+        """Probe subscriber entry point."""
+        flat = _flatten(ev)
+        if self._wants(flat.kind, flat.core, flat.block):
+            self.events.append(flat)
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "Tracer":
+        self.sim.probe.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        self.sim.probe.unsubscribe(self)
+
+    def __enter__(self) -> "Tracer":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self) -> str:
+        return "\n".join(str(e) for e in self.events)

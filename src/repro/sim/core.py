@@ -26,6 +26,7 @@ from ..core.validation import ValidationController
 from ..htm.fallback import LOCK_FREE, LOCK_HELD
 from ..htm.stats import AbortReason, AttemptOutcome
 from ..htm.txstate import TxState
+from ..obs import events as obs
 from .ops import Abort, AtomicCAS, Read, Txn, Work, Write
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,6 +67,9 @@ class Core:
         self._power_attempts = 0
         self._levc_timestamp: Optional[int] = None
         self._in_fallback = False
+        # Cycle at which the current attempt entered the commit fence
+        # (waiting for the VSB to drain); feeds ``vsb_stall_cycles``.
+        self._fence_since: Optional[int] = None
         # Blocks written by earlier aborted attempts of the current Txn:
         # the hardware analogue is a store-address predictor.  Feeds the
         # Rrestrict/W "in-flight write" heuristic — a block this attempt
@@ -144,6 +148,14 @@ class Core:
             return
         assert self._txn is not None
         self.stats.tx_attempts += 1
+        probe = self.sim.probe
+        if probe:
+            probe.emit(
+                obs.TxBegin(
+                    cycle=self.engine.now, core=self.core_id,
+                    epoch=epoch, power=self._power,
+                )
+            )
         self._tgen = self._txn.body(*self._txn.args)
         self._advance_tx(epoch, None)
 
@@ -210,18 +222,35 @@ class Core:
             # Section III-A: commit is fenced until every speculatively
             # received block has been validated.
             tx.commit_pending = True
+            self._fence_since = self.engine.now
 
     def finish_pending_commit(self) -> None:
         tx = self.tx
         if tx is not None and tx.active and tx.commit_pending:
             tx.commit_pending = False
+            self._settle_fence()
             self._do_commit()
+
+    def _settle_fence(self) -> None:
+        """Account cycles spent fenced on a non-empty VSB."""
+        if self._fence_since is not None:
+            self.stats.vsb_stall_cycles += self.engine.now - self._fence_since
+            self._fence_since = None
 
     def _do_commit(self) -> None:
         tx = self.tx
         assert tx is not None and tx.active
         tx.record.outcome = AttemptOutcome.COMMITTED
         self.stats.record_attempt(tx.record)
+        probe = self.sim.probe
+        if probe:
+            probe.emit(
+                obs.Commit(
+                    cycle=self.engine.now, core=self.core_id, epoch=tx.epoch,
+                    power=self._power,
+                    label=self._txn.label if self._txn is not None else "",
+                )
+            )
         tx.commit()
         self.l1.cache.clear_speculative_marks()
         self.validation.cancel()
@@ -244,6 +273,20 @@ class Core:
         tx = self.tx
         if tx is None or not tx.active:
             return
+        probe = self.sim.probe
+        if probe:
+            probe.emit(
+                obs.Abort(
+                    cycle=self.engine.now, core=self.core_id, epoch=tx.epoch,
+                    reason=reason.value,
+                    label=self._txn.label if self._txn is not None else "",
+                )
+            )
+        if tx.commit_pending:
+            # The attempt died inside the commit fence: the wait still
+            # counts as VSB stall time.
+            self._settle_fence()
+        self._fence_since = None
         tx.begin_abort(reason)
         self._write_history |= tx.write_set
         tx.record.outcome = AttemptOutcome.ABORTED
@@ -315,6 +358,11 @@ class Core:
     def _power_granted(self) -> None:
         self._power = True
         self._power_attempts = 0
+        probe = self.sim.probe
+        if probe:
+            probe.emit(
+                obs.PowerElevate(cycle=self.engine.now, core=self.core_id)
+            )
         self.engine.schedule(1, self._begin_attempt)
 
     def _acquire_global_lock(self) -> None:
@@ -325,6 +373,13 @@ class Core:
     def _lock_cas_result(self, observed: int) -> None:
         if observed == LOCK_FREE:
             self.sim.lock.acquisitions += 1
+            probe = self.sim.probe
+            if probe:
+                probe.emit(
+                    obs.FallbackAcquire(
+                        cycle=self.engine.now, core=self.core_id
+                    )
+                )
             self._run_fallback_body()
         else:
             self.sim.lock.failed_cas += 1

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..htm.stats import HTMStats
 
@@ -21,6 +21,9 @@ class SimulationResult:
     lock_acquisitions: int = 0
     power_grants: int = 0
     events: int = 0
+    #: Serialized :class:`~repro.obs.interval.IntervalMetrics` time series
+    #: (``{"window": W, "bins": [...]}``) when the run collected one.
+    intervals: Optional[Dict[str, object]] = None
 
     @property
     def total_commits(self) -> int:
@@ -55,7 +58,7 @@ class SimulationResult:
 
     def to_dict(self) -> Dict[str, object]:
         """Lossless JSON-serializable form (the disk-cache payload)."""
-        return {
+        out: Dict[str, object] = {
             "workload": self.workload,
             "system": self.system,
             "cycles": self.cycles,
@@ -66,6 +69,9 @@ class SimulationResult:
             "power_grants": self.power_grants,
             "events": self.events,
         }
+        if self.intervals is not None:
+            out["intervals"] = self.intervals
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
@@ -80,6 +86,7 @@ class SimulationResult:
             lock_acquisitions=int(data["lock_acquisitions"]),
             power_grants=int(data["power_grants"]),
             events=int(data["events"]),
+            intervals=data.get("intervals"),
         )
 
     def summary(self) -> Dict[str, object]:

@@ -14,6 +14,8 @@ from ..mem.l1controller import L1Controller
 from ..mem.memory import MainMemory
 from ..net.messages import DIRECTORY, Message
 from ..net.network import Crossbar
+from ..obs.interval import IntervalMetrics
+from ..obs.probe import Probe
 from .config import HTMConfig, SystemConfig, SystemKind, table2_config
 from .core import Core
 from .engine import Engine
@@ -43,9 +45,17 @@ class Simulator:
             )
 
         self.engine = Engine()
+        #: Instrumentation bus: subscribers see every probe event of this
+        #: simulator (and only this one); inert while nobody listens.
+        self.probe = Probe()
         self.memory = MainMemory(workload.space.geometry)
-        self.network = Crossbar(self.engine, self.config, self._route)
-        self.directory = Directory(self.engine, self.config, self.memory, self.network)
+        self.network = Crossbar(
+            self.engine, self.config, self._route, probe=self.probe
+        )
+        self.directory = Directory(
+            self.engine, self.config, self.memory, self.network,
+            probe=self.probe,
+        )
         self.policy = make_policy(self.htm)
         self.power = PowerTokenManager()
         self.stats = HTMStats()
@@ -64,6 +74,7 @@ class Simulator:
                 policy=self.policy,
                 stats=self.stats,
                 lock_block=lock_block,
+                probe=self.probe,
             )
             for i in range(self.config.num_cores)
         ]
@@ -94,12 +105,31 @@ class Simulator:
         self._finished += 1
 
     # ------------------------------------------------------------------
-    def run(self, *, max_events: int = 80_000_000) -> SimulationResult:
-        """Execute the workload to completion and collect results."""
+    def run(
+        self,
+        *,
+        max_events: int = 80_000_000,
+        metrics_window: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute the workload to completion and collect results.
+
+        ``metrics_window`` (cycles) attaches an
+        :class:`~repro.obs.interval.IntervalMetrics` subscriber for the
+        duration of the run and serializes its time series into the
+        result (``result.intervals``); ``None`` keeps the bus silent.
+        """
+        collector: Optional[IntervalMetrics] = None
+        if metrics_window is not None:
+            collector = IntervalMetrics(window=metrics_window)
+            self.probe.subscribe(collector)
         for tid in range(self.workload.num_threads):
             self.cores[tid].start(self.workload.thread_body(tid))
             self._started += 1
-        cycles = self.engine.run(max_events=max_events)
+        try:
+            cycles = self.engine.run(max_events=max_events)
+        finally:
+            if collector is not None:
+                self.probe.unsubscribe(collector)
         if self._finished != self._started:
             stuck = [c.core_id for c in self.cores if not c.done and c.core_id < self._started]
             raise DeadlockError(
@@ -123,6 +153,7 @@ class Simulator:
             lock_acquisitions=self.lock.acquisitions,
             power_grants=self.power.grants,
             events=self.engine.events_processed,
+            intervals=collector.to_dict() if collector is not None else None,
         )
 
 
@@ -133,7 +164,10 @@ def run_simulation(
     htm: Optional[HTMConfig] = None,
     config: Optional[SystemConfig] = None,
     max_events: int = 80_000_000,
+    metrics_window: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a simulator for ``system`` and run it."""
     htm = htm if htm is not None else table2_config(system)
-    return Simulator(workload, htm=htm, config=config).run(max_events=max_events)
+    return Simulator(workload, htm=htm, config=config).run(
+        max_events=max_events, metrics_window=metrics_window
+    )

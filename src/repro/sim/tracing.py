@@ -1,10 +1,12 @@
-"""Structured tracing of a simulation.
+"""Structured tracing of a simulation (compatibility shim).
 
-A :class:`Tracer` attaches to a :class:`~repro.sim.simulator.Simulator`
-before ``run()`` and records typed :class:`TraceEvent` entries for the
-things a CHATS debugging session cares about: coherence messages,
-speculative forwards, validations, commits, and aborts.  Filters keep the
-trace small (by block, by core, by event kind).
+The tracer lives in :mod:`repro.obs.tracer` as a subscriber of the
+per-simulator instrumentation bus; this module re-exports it under its
+historical import path.  The old implementation monkey-patched
+``Crossbar.send`` / ``Core._do_commit`` / ``Core.abort_tx`` at *class*
+level — unsafe with concurrent simulators and leaky on exceptions — and
+was replaced by explicit emit points feeding
+:class:`~repro.obs.probe.Probe`.
 
 Example::
 
@@ -17,165 +19,6 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from ..obs.tracer import TraceEvent, Tracer
 
-from ..htm.stats import AbortReason
-from ..net.messages import DIRECTORY, Message
-from ..net.network import Crossbar
-from .core import Core
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event.
-
-    ``kind`` is one of ``message``, ``forward``, ``commit``, ``abort``.
-    """
-
-    cycle: int
-    kind: str
-    core: Optional[int] = None
-    block: Optional[int] = None
-    detail: str = ""
-
-    def __str__(self) -> str:
-        where = "" if self.core is None else f" core{self.core}"
-        blk = "" if self.block is None else f" blk={self.block:#x}"
-        return f"[{self.cycle:>8d}] {self.kind:<8s}{where}{blk} {self.detail}"
-
-
-def _describe_message(msg: Message) -> str:
-    src = "DIR" if msg.src == DIRECTORY else f"T{msg.src}"
-    dst = "DIR" if msg.dst == DIRECTORY else f"T{msg.dst}"
-    extras = []
-    if msg.pic is not None:
-        extras.append(f"PiC={msg.pic}")
-    if msg.is_validation:
-        extras.append("validation")
-    if msg.power:
-        extras.append("power")
-    if msg.action:
-        extras.append(msg.action)
-    if msg.non_transactional:
-        extras.append("non-tx")
-    suffix = (" " + " ".join(extras)) if extras else ""
-    return f"{src}->{dst} {msg.kind.value}{suffix}"
-
-
-class Tracer:
-    """Context manager that hooks the simulator and collects events."""
-
-    def __init__(
-        self,
-        sim,
-        *,
-        blocks: Optional[Iterable[int]] = None,
-        cores: Optional[Iterable[int]] = None,
-        kinds: Optional[Iterable[str]] = None,
-        max_events: int = 100_000,
-    ):
-        self.sim = sim
-        self.events: List[TraceEvent] = []
-        self._blocks: Optional[Set[int]] = set(blocks) if blocks else None
-        self._cores: Optional[Set[int]] = set(cores) if cores else None
-        self._kinds: Optional[Set[str]] = set(kinds) if kinds else None
-        self._max_events = max_events
-        self._orig_send = None
-        self._orig_commit = None
-        self._orig_abort = None
-
-    # ------------------------------------------------------------------
-    def _wants(self, kind: str, core: Optional[int], block: Optional[int]) -> bool:
-        if len(self.events) >= self._max_events:
-            return False
-        if self._kinds is not None and kind not in self._kinds:
-            return False
-        if self._cores is not None and core is not None and core not in self._cores:
-            return False
-        if self._blocks is not None and block is not None and block not in self._blocks:
-            return False
-        return True
-
-    def _record(self, kind: str, core=None, block=None, detail="") -> None:
-        if self._wants(kind, core, block):
-            self.events.append(
-                TraceEvent(
-                    cycle=self.sim.engine.now,
-                    kind=kind,
-                    core=core,
-                    block=block,
-                    detail=detail,
-                )
-            )
-
-    # ------------------------------------------------------------------
-    def __enter__(self) -> "Tracer":
-        tracer = self
-        sim = self.sim
-
-        self._orig_send = Crossbar.send
-
-        def send(net_self, msg, *, extra_delay=0):
-            if net_self is sim.network:
-                src = None if msg.src == DIRECTORY else msg.src
-                tracer._record(
-                    "message", core=src, block=msg.block,
-                    detail=_describe_message(msg),
-                )
-                from ..net.messages import MessageKind
-
-                if msg.kind is MessageKind.SPEC_RESP:
-                    tracer._record(
-                        "forward",
-                        core=msg.src,
-                        block=msg.block,
-                        detail=f"-> T{msg.dst} PiC={msg.pic}",
-                    )
-            tracer._orig_send(net_self, msg, extra_delay=extra_delay)
-
-        Crossbar.send = send
-
-        self._orig_commit = Core._do_commit
-
-        def do_commit(core_self):
-            if core_self.sim is sim and core_self.tx is not None:
-                tracer._record(
-                    "commit",
-                    core=core_self.core_id,
-                    detail=f"epoch={core_self.tx.epoch}"
-                    + (" power" if core_self.tx.power else ""),
-                )
-            tracer._orig_commit(core_self)
-
-        Core._do_commit = do_commit
-
-        self._orig_abort = Core.abort_tx
-
-        def abort_tx(core_self, reason: AbortReason):
-            if (
-                core_self.sim is sim
-                and core_self.tx is not None
-                and core_self.tx.active
-            ):
-                tracer._record(
-                    "abort",
-                    core=core_self.core_id,
-                    detail=f"epoch={core_self.tx.epoch} reason={reason.value}",
-                )
-            tracer._orig_abort(core_self, reason)
-
-        Core.abort_tx = abort_tx
-        return self
-
-    def __exit__(self, *exc) -> None:
-        Crossbar.send = self._orig_send
-        Core._do_commit = self._orig_commit
-        Core.abort_tx = self._orig_abort
-
-    # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def render(self) -> str:
-        return "\n".join(str(e) for e in self.events)
+__all__ = ["TraceEvent", "Tracer"]

@@ -81,6 +81,18 @@ class CounterWorkload(Workload):
             )
 
 
+@register
+class SynthWorkload(CounterWorkload):
+    """Alias of :class:`CounterWorkload` under the name ``synth``.
+
+    The docs and CI use ``synth`` as the canonical tiny smoke workload
+    for tracing (``repro run synth --trace ...``); it is byte-for-byte
+    the shared-counter benchmark.
+    """
+
+    name = "synth"
+
+
 class _LinkedListBenchmark(Workload):
     """Common machinery of the llb low/high contention flavours."""
 

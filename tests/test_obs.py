@@ -1,0 +1,319 @@
+"""Tests for the instrumentation bus (``repro.obs``): probe semantics,
+observer-effect freedom, interval metrics, trace exporters, chain
+reconstruction, and the runner's manifest/metrics plumbing."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import RunConfig, clear_cache, counters, run_many
+from repro.htm.stats import HTMStats
+from repro.obs import (
+    EVENT_TYPES,
+    ChainInspector,
+    ChromeTraceExporter,
+    Commit,
+    IntervalMetrics,
+    JsonlTraceWriter,
+    Probe,
+    Tracer,
+)
+from repro.obs.trace_export import DIRECTORY_TRACK, TRACE_PID
+from repro.sim.config import SystemKind, table2_config
+from repro.sim.simulator import Simulator
+from repro.workloads.base import make_workload
+
+FAST = dict(threads=4, seed=2, scale=0.1)
+
+
+def _sim(system=SystemKind.CHATS, **kwargs):
+    params = dict(FAST, **kwargs)
+    wl = make_workload("counter", **params)
+    return Simulator(wl, htm=table2_config(system))
+
+
+# ----------------------------------------------------------------------
+class TestProbe:
+    def test_inert_without_subscribers(self):
+        probe = Probe()
+        assert not probe
+        assert not probe.active
+
+    def test_subscribe_unsubscribe(self):
+        probe = Probe()
+        seen = []
+        probe.subscribe(seen.append)
+        assert probe
+        probe.emit(Commit(cycle=1, core=0, epoch=1))
+        probe.unsubscribe(seen.append)
+        probe.emit(Commit(cycle=2, core=0, epoch=2))
+        assert [e.cycle for e in seen] == [1]
+        # Unsubscribing twice (or a stranger) is a no-op.
+        probe.unsubscribe(seen.append)
+
+    def test_duplicate_subscription_delivers_once(self):
+        probe = Probe()
+        seen = []
+        probe.subscribe(seen.append)
+        probe.subscribe(seen.append)
+        probe.emit(Commit(cycle=1, core=0, epoch=1))
+        assert len(seen) == 1
+
+
+# ----------------------------------------------------------------------
+class TestObserverEffect:
+    @pytest.mark.parametrize(
+        "system", (SystemKind.CHATS, SystemKind.POWER), ids=lambda s: s.value
+    )
+    def test_traced_run_is_bit_identical_to_untraced(self, system):
+        """Attaching every subscriber at once must not perturb the
+        simulation: same cycles, same stats, bit for bit."""
+        bare = _sim(system).run()
+
+        sim = _sim(system)
+        tracer = Tracer(sim).attach()
+        writer = JsonlTraceWriter(io.StringIO())
+        exporter = ChromeTraceExporter()
+        inspector = ChainInspector(sim).attach()
+        sim.probe.subscribe(writer)
+        sim.probe.subscribe(exporter)
+        traced = sim.run(metrics_window=1_000)
+        tracer.detach()
+        inspector.detach()
+
+        assert traced.cycles == bare.cycles
+        assert traced.events == bare.events
+        assert traced.stats.to_dict() == bare.stats.to_dict()
+        assert traced.network == bare.network
+        assert writer.events_written > 0
+
+    def test_interleaved_simulators_do_not_cross_talk(self):
+        """Two traced simulators attached at the same time each see only
+        their own events (the old class-level monkey-patching broke
+        this)."""
+        sim_a = _sim(threads=2)
+        sim_b = _sim(threads=4)
+        tracer_a = Tracer(sim_a).attach()
+        tracer_b = Tracer(sim_b).attach()
+
+        result_a = sim_a.run()
+        events_a_before = len(tracer_a.events)
+        result_b = sim_b.run()
+
+        # B's run added nothing to A's (still attached) tracer.
+        assert len(tracer_a.events) == events_a_before
+        commits_a = tracer_a.of_kind("commit")
+        commits_b = tracer_b.of_kind("commit")
+        assert len(commits_a) == result_a.total_commits
+        assert len(commits_b) == result_b.total_commits
+        assert len(commits_a) != len(commits_b)  # distinct workloads
+        tracer_a.detach()
+        tracer_b.detach()
+
+
+# ----------------------------------------------------------------------
+class TestIntervalMetrics:
+    def test_bins_sum_to_aggregates(self):
+        sim = _sim()
+        result = sim.run(metrics_window=500)
+        collector = IntervalMetrics.from_dict(result.intervals)
+        totals = collector.totals()
+        stats = result.stats
+        assert totals["commits"] == stats.tx_commits + stats.tx_fallback_commits
+        assert totals["aborts"] == stats.total_aborts
+        assert totals["forwards"] == stats.spec_forwards
+        assert totals["fallback_acquires"] == result.lock_acquisitions
+        assert totals["power_elevations"] == result.power_grants
+
+    def test_round_trip_and_dense_bins(self):
+        sim = _sim()
+        result = sim.run(metrics_window=250)
+        data = result.intervals
+        assert data["window"] == 250
+        rebuilt = IntervalMetrics.from_dict(data)
+        assert rebuilt.to_dict() == data
+        starts = [b["start"] for b in data["bins"]]
+        assert starts == sorted(starts)
+        # Dense axis: consecutive bins are exactly one window apart.
+        assert all(b - a == 250 for a, b in zip(starts, starts[1:]))
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            IntervalMetrics(window=0)
+
+    def test_timeline_table_renders(self):
+        from repro.analysis.tables import format_timeline
+
+        result = _sim().run(metrics_window=500)
+        text = format_timeline("timeline", result.intervals)
+        lines = text.splitlines()
+        assert lines[0] == "timeline"
+        assert len(lines) == 4 + len(result.intervals["bins"])
+
+    def test_intervals_survive_result_round_trip(self):
+        from repro.sim.results import SimulationResult
+
+        result = _sim().run(metrics_window=500)
+        clone = SimulationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone.intervals == result.intervals
+
+
+# ----------------------------------------------------------------------
+class TestJsonlWriter:
+    def test_lines_are_valid_typed_events(self):
+        sim = _sim()
+        buf = io.StringIO()
+        with JsonlTraceWriter(buf) as writer:
+            sim.probe.subscribe(writer)
+            sim.run()
+            sim.probe.unsubscribe(writer)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == writer.events_written > 0
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in EVENT_TYPES
+            assert isinstance(record["cycle"], int) and record["cycle"] >= 0
+
+
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def _trace(self):
+        sim = _sim()
+        exporter = ChromeTraceExporter()
+        sim.probe.subscribe(exporter)
+        sim.run()
+        buf = io.StringIO()
+        exporter.write(buf)
+        return json.loads(buf.getvalue())
+
+    def test_valid_json_with_monotonic_tracks(self):
+        payload = self._trace()
+        events = payload["traceEvents"]
+        assert events
+        last_ts = {}
+        for ev in events:
+            if ev["ph"] == "M":
+                continue
+            assert ev["pid"] == TRACE_PID
+            assert ev["ts"] >= last_ts.get(ev["tid"], 0)
+            last_ts[ev["tid"]] = ev["ts"]
+        assert DIRECTORY_TRACK in last_ts  # directory traffic has a track
+
+    def test_slices_balanced_per_track(self):
+        payload = self._trace()
+        depth = {}
+        for ev in payload["traceEvents"]:
+            if ev["ph"] == "B":
+                depth[ev["tid"]] = depth.get(ev["tid"], 0) + 1
+            elif ev["ph"] == "E":
+                depth[ev["tid"]] = depth.get(ev["tid"], 0) - 1
+                assert depth[ev["tid"]] >= 0, "E without matching B"
+        assert depth and all(d == 0 for d in depth.values())
+
+    def test_track_metadata_present(self):
+        payload = self._trace()
+        names = {
+            (ev["tid"], ev["args"]["name"])
+            for ev in payload["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert (0, "core 0") in names
+        assert (DIRECTORY_TRACK, "directory") in names
+
+
+# ----------------------------------------------------------------------
+class TestChainInspector:
+    def test_reconstructs_forwarding_chains(self):
+        sim = _sim()
+        with ChainInspector(sim) as inspector:
+            result = sim.run()
+        assert result.stats.spec_forwards > 0
+        assert len(inspector.edges) == result.stats.spec_forwards
+        chains = inspector.chains()
+        assert chains
+        assert sum(c.depth for c in chains) == len(inspector.edges)
+        text = inspector.render()
+        assert "chain #1" in text and "-[blk=" in text
+
+    def test_render_without_forwards(self):
+        inspector = ChainInspector()
+        assert "no speculative forwarding" in inspector.render()
+
+
+# ----------------------------------------------------------------------
+class TestVsbGauges:
+    def test_round_trip_and_merge(self):
+        a = HTMStats(vsb_high_water=3, vsb_stall_cycles=40)
+        b = HTMStats(vsb_high_water=5, vsb_stall_cycles=2)
+        assert HTMStats.from_dict(a.to_dict()).vsb_high_water == 3
+        assert HTMStats.from_dict(a.to_dict()).vsb_stall_cycles == 40
+        a.merge(b)
+        assert a.vsb_high_water == 5  # gauge: max
+        assert a.vsb_stall_cycles == 42  # counter: sum
+
+    def test_chats_run_records_vsb_activity(self):
+        result = _sim().run()
+        assert result.stats.spec_forwards > 0
+        assert result.stats.vsb_high_water >= 1
+
+
+# ----------------------------------------------------------------------
+class TestRunnerObservability:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setattr(runner, "_cache_dir_override", None)
+        monkeypatch.setattr(runner, "_disk_cache_override", None)
+        monkeypatch.setattr(runner, "_default_progress", None)
+        monkeypatch.setattr(runner, "_LAST_MANIFEST", None)
+        clear_cache()
+        counters().reset()
+        yield
+        clear_cache()
+        counters().reset()
+
+    def test_metrics_window_is_part_of_the_cache_key(self):
+        plain = RunConfig.make("counter", SystemKind.CHATS, **FAST)
+        binned = RunConfig.make(
+            "counter", SystemKind.CHATS, metrics_window=1_000, **FAST
+        )
+        assert plain.key() != binned.key()
+        assert binned.to_dict()["metrics_window"] == 1_000
+        assert "metrics_window=1000" in binned.describe()
+
+    def test_cached_results_keep_their_intervals(self):
+        cfg = RunConfig.make(
+            "counter", SystemKind.CHATS, metrics_window=500, **FAST
+        )
+        first = run_many([cfg])[0]
+        assert first.intervals is not None
+        clear_cache()  # force the disk-cache path
+        second = run_many([cfg])[0]
+        assert counters().simulations == 1
+        assert second.intervals == first.intervals
+
+    def test_manifest_records_runs_then_hits(self):
+        configs = [
+            RunConfig.make("counter", SystemKind.BASELINE, **FAST),
+            RunConfig.make("counter", SystemKind.CHATS, **FAST),
+        ]
+        run_many(configs)
+        manifest = runner.last_manifest()
+        assert manifest.executed == 2 and manifest.cached == 0
+        assert all(e.seconds >= 0 for e in manifest.entries)
+        assert manifest.entry_for(configs[0]).source == "run"
+
+        run_many(configs)
+        manifest = runner.last_manifest()
+        assert manifest.executed == 0 and manifest.cached == 2
+        assert "2 cached / 0 run" in manifest.summary()
+        payload = manifest.to_dict()
+        assert payload["cached"] == 2 and payload["run"] == 0
+        assert len(payload["entries"]) == 2
