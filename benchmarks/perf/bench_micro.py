@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Microbenchmarks of the simulator's hot primitives.
+
+A developer tool (not CI-gated): times the individual building blocks
+that ``repro bench`` exercises end-to-end, so a regression flagged by
+the suite can be bisected to a subsystem without profiling first.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_micro.py [--repeat N]
+
+Each primitive reports operations per second, best of ``--repeat``
+timing loops.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+
+def timed(fn, n, repeat):
+    """Best-of-``repeat`` ops/sec of ``fn(n)`` performing ``n`` ops."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(n)
+        best = min(best, time.perf_counter() - start)
+    return n / best
+
+
+def bench_engine_throughput(n):
+    """Schedule + fire n self-rescheduling events (the run-loop cost)."""
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    remaining = [n]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.schedule(1, tick)
+
+    engine.schedule(1, tick)
+    engine.run()
+
+
+def bench_engine_schedule_cancel(n):
+    """Arm-and-cancel churn (validation-timer pattern + compaction)."""
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    for _ in range(n):
+        engine.schedule(100, lambda: None).cancel()
+
+
+def bench_message_pool(n):
+    """Construct + release pooled messages (one coherence hop's worth)."""
+    from repro.net.messages import DIRECTORY, Message, MessageKind
+
+    for i in range(n):
+        msg = Message(
+            kind=MessageKind.GETS,
+            src=0,
+            dst=DIRECTORY,
+            block=i & 0xFFFF,
+            epoch=1,
+            req_id=i,
+        )
+        msg.release()
+
+
+def bench_cache_hit(n):
+    """Install once, then hot lookups (the L1 hit path)."""
+    from repro.mem.cache import L1Cache
+    from repro.sim.config import SystemConfig
+
+    cache = L1Cache(SystemConfig())
+    for block in range(64):
+        cache.install(block, "S")
+    lookup = cache.lookup
+    for i in range(n):
+        lookup(i & 63)
+
+
+def bench_spec_store(n):
+    """Speculative-store writes + reads (the tx data path)."""
+    from repro.mem.address import Geometry
+    from repro.mem.memory import MainMemory, SpeculativeStore
+
+    store = SpeculativeStore(MainMemory(Geometry()))
+    write, read = store.write_word, store.read_word
+    for i in range(n):
+        addr = (i & 255) * 8
+        write(addr, i)
+        read(addr)
+
+
+BENCHES = (
+    ("engine run loop (delay-1 chain)", bench_engine_throughput, 200_000),
+    ("engine schedule+cancel churn", bench_engine_schedule_cancel, 200_000),
+    ("message pool construct+release", bench_message_pool, 200_000),
+    ("L1 cache hit lookup", bench_cache_hit, 500_000),
+    ("speculative store write+read", bench_spec_store, 200_000),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+    for name, fn, n in BENCHES:
+        rate = timed(fn, n, args.repeat)
+        print(f"{name:<36s} {rate:>14,.0f} ops/s")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -20,6 +20,12 @@ Subcommands:
       python -m repro trace synth --system chats --out trace.jsonl
       python -m repro trace synth --format chrome --out trace.json --chains
 
+* ``bench`` — run the pinned performance regression suite and write a
+  ``BENCH_<rev>.json`` report (gate it with ``scripts/check_bench.py``)::
+
+      python -m repro bench
+      python -m repro bench --quick synth
+
 * ``list`` — list registered workloads, systems, and experiments.
 
 ``run`` also accepts ``--trace FILE`` / ``--trace-format {jsonl,chrome}``
@@ -252,6 +258,31 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments import bench
+
+    def progress(key: str) -> None:
+        print(f"  [bench] {key}", file=sys.stderr)
+
+    report = bench.run_suite(
+        workloads=args.workloads or None,
+        quick=args.quick,
+        repeat=args.repeat if args.repeat is not None else bench.DEFAULT_REPEAT,
+        progress=progress,
+    )
+    out = (
+        Path(args.out)
+        if args.out is not None
+        else bench.default_output_path(report)
+    )
+    bench.write_report(report, out)
+    print(bench.format_report(report))
+    print(f"\nreport           : {out}")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("workloads:")
     for name in workload_names():
@@ -379,6 +410,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("figure", choices=sorted(FIGURES))
     p_fig.add_argument("--scale", type=float, default=None)
     p_fig.set_defaults(fn=cmd_figure)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance regression suite",
+        description=(
+            "Run the pinned benchmark cases (fixed workload/threads/seed/"
+            "scale, so simulated work is identical across revisions), "
+            "report events/sec and peak RSS, and write BENCH_<rev>.json. "
+            "Gate against the committed baseline with "
+            "scripts/check_bench.py."
+        ),
+    )
+    p_bench.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="subset of pinned cases to run (default: all)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced pinned scales for CI smoke runs",
+    )
+    p_bench.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs per case, best-of (default: 3)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="report path (default: ./BENCH_<rev>.json)",
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_list = sub.add_parser("list", help="list workloads/systems/experiments")
     p_list.set_defaults(fn=cmd_list)

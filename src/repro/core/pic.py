@@ -31,7 +31,7 @@ class HolderAction(Enum):
     ABORT_LOCAL = "abort-local"  # requester-wins: holder aborts
 
 
-@dataclass
+@dataclass(slots=True)
 class HolderDecision:
     action: HolderAction
     #: New PiC for the holder when forwarding (None = leave unchanged).
@@ -42,6 +42,8 @@ class HolderDecision:
 
 class PiCRegister:
     """The per-core PiC register plus the Cons bit."""
+
+    __slots__ = ("_limit", "_init", "value", "cons")
 
     def __init__(self, limit: int, init: int):
         if not 0 <= init < limit:

@@ -71,7 +71,7 @@ class ValidationController:
         epoch = tx.epoch
         self._core.stats.validations_attempted += 1
         probe = self._core.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 ValidationStart(
                     cycle=self._core.engine.now, core=self._core.core_id,
@@ -128,7 +128,7 @@ class ValidationController:
         tx.vsb.retire(msg.block)
         core.stats.validations_succeeded += 1
         probe = core.sim.probe
-        if probe:
+        if probe._subscribers:
             now = core.engine.now
             probe.emit(
                 ValidationOk(
@@ -152,7 +152,7 @@ class ValidationController:
 
     def _emit_mismatch(self, tx, block: int) -> None:
         probe = self._core.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 ValidationMismatch(
                     cycle=self._core.engine.now, core=self._core.core_id,

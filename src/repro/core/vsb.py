@@ -13,42 +13,55 @@ PiC and 1-bit Cons registers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 BlockValue = Tuple[int, ...]
 
 
-@dataclass
 class VSBEntry:
-    valid: bool = False
-    block: int = 0
-    data: Optional[BlockValue] = None
+    __slots__ = ("valid", "block", "data")
+
+    def __init__(
+        self,
+        valid: bool = False,
+        block: int = 0,
+        data: Optional[BlockValue] = None,
+    ):
+        self.valid = valid
+        self.block = block
+        self.data = data
 
 
 class ValidationStateBuffer:
-    """Fixed-capacity buffer of pending speculative blocks."""
+    """Fixed-capacity buffer of pending speculative blocks.
+
+    ``occupancy``/``empty``/``full`` are O(1) via a live-entry counter —
+    the commit fence polls ``empty`` on every response.
+    """
+
+    __slots__ = ("_entries", "_validate_ptr", "_count")
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("VSB needs at least one entry")
         self._entries: List[VSBEntry] = [VSBEntry() for _ in range(size)]
         self._validate_ptr = 0
+        self._count = 0
 
     @property
     def size(self) -> int:
         return len(self._entries)
 
     def occupancy(self) -> int:
-        return sum(1 for e in self._entries if e.valid)
+        return self._count
 
     @property
     def empty(self) -> bool:
-        return self.occupancy() == 0
+        return self._count == 0
 
     @property
     def full(self) -> bool:
-        return self.occupancy() == len(self._entries)
+        return self._count == len(self._entries)
 
     def contains(self, block: int) -> bool:
         return any(e.valid and e.block == block for e in self._entries)
@@ -71,6 +84,7 @@ class ValidationStateBuffer:
                 entry.valid = True
                 entry.block = block
                 entry.data = data
+                self._count += 1
                 return True
         return False
 
@@ -96,6 +110,7 @@ class ValidationStateBuffer:
             if entry.valid and entry.block == block:
                 entry.valid = False
                 entry.data = None
+                self._count -= 1
                 return
         raise KeyError(f"block {block:#x} not in VSB")
 
@@ -105,6 +120,7 @@ class ValidationStateBuffer:
             entry.valid = False
             entry.data = None
         self._validate_ptr = 0
+        self._count = 0
 
     def blocks(self) -> List[int]:
         return [e.block for e in self._entries if e.valid]

@@ -15,6 +15,8 @@ from typing import Iterable, Set
 class PerfectSignature:
     """Exact set of blocks — the paper's evaluation configuration."""
 
+    __slots__ = ("_blocks",)
+
     def __init__(self) -> None:
         self._blocks: Set[int] = set()
 
@@ -43,6 +45,8 @@ class BloomSignature:
     False positives manifest as spurious conflicts, exactly as a real
     hardware signature would behave.
     """
+
+    __slots__ = ("_bits", "_hashes", "_seed", "_filter", "_count")
 
     def __init__(self, bits: int = 2048, hashes: int = 4, seed: int = 0x5EED):
         if bits <= 0 or hashes <= 0:

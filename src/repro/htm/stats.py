@@ -53,7 +53,7 @@ class AttemptOutcome(Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class AttemptRecord:
     """Fig. 6 bookkeeping for a single hardware transaction attempt."""
 
@@ -64,7 +64,7 @@ class AttemptRecord:
     reason: Optional[AbortReason] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class HTMStats:
     """Aggregate counters for one simulation run."""
 

@@ -30,6 +30,27 @@ class TxStatus(Enum):
 class TxState:
     """State of one hardware transaction attempt on one core."""
 
+    __slots__ = (
+        "core_id",
+        "epoch",
+        "status",
+        "active",
+        "power",
+        "timestamp",
+        "read_sig",
+        "write_set",
+        "store",
+        "pic",
+        "vsb",
+        "naive_budget",
+        "abort_reason",
+        "record",
+        "levc_has_consumer",
+        "levc_has_consumed",
+        "levc_has_produced",
+        "commit_pending",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -39,29 +60,50 @@ class TxState:
         *,
         power: bool = False,
         timestamp: Optional[int] = None,
+        machinery: Optional[tuple] = None,
     ):
         self.core_id = core_id
         self.epoch = epoch
         self.status = TxStatus.ACTIVE
+        #: Hot-path mirror of ``status is TxStatus.ACTIVE`` — checked on
+        #: every coherence response and probe, so it is a plain attribute
+        #: maintained at the (rare) status transitions.
+        self.active = True
         self.power = power
         #: LEVC ideal timestamp (kept across retries by the core driver).
         self.timestamp = timestamp
 
-        # Perfect signature per the paper's evaluation; a Bloom filter
-        # when the configuration ablates that assumption.
-        self.read_sig = (
-            PerfectSignature()
-            if htm.signature_bits is None
-            else BloomSignature(bits=htm.signature_bits)
-        )
-        self.write_set: Set[int] = set()
-        self.store = SpeculativeStore(memory)
-        self.pic = PiCRegister(limit=htm.pic_limit, init=htm.pic_init)
-        self.vsb = (
-            ValidationStateBuffer(htm.vsb_size)
-            if htm.system.forwards and htm.vsb_size
-            else ValidationStateBuffer(1)
-        )
+        if machinery is not None:
+            # Per-core reuse across attempts (see :meth:`machinery`): the
+            # previous attempt ended via ``commit()``/``finish_abort()``,
+            # both of which restore the signature, write set, store and
+            # PiC to their pristine state.  The VSB retires entries
+            # without rewinding its round-robin pointer, so it is the one
+            # piece that needs an explicit clear here.
+            (
+                self.read_sig,
+                self.write_set,
+                self.store,
+                self.pic,
+                self.vsb,
+            ) = machinery
+            self.vsb.clear()
+        else:
+            # Perfect signature per the paper's evaluation; a Bloom filter
+            # when the configuration ablates that assumption.
+            self.read_sig = (
+                PerfectSignature()
+                if htm.signature_bits is None
+                else BloomSignature(bits=htm.signature_bits)
+            )
+            self.write_set = set()
+            self.store = SpeculativeStore(memory)
+            self.pic = PiCRegister(limit=htm.pic_limit, init=htm.pic_init)
+            self.vsb = (
+                ValidationStateBuffer(htm.vsb_size)
+                if htm.system.forwards and htm.vsb_size
+                else ValidationStateBuffer(1)
+            )
         #: Naive R-S escape hatch: unsuccessful-validation budget.
         self.naive_budget = htm.naive_validation_budget
 
@@ -78,9 +120,13 @@ class TxState:
         self.commit_pending = False
 
     # ------------------------------------------------------------------
-    @property
-    def active(self) -> bool:
-        return self.status is TxStatus.ACTIVE
+    def machinery(self) -> tuple:
+        """The reusable sub-objects, to be passed back into the next
+        attempt's constructor once this attempt has finished.  Safe
+        because every asynchronous path into a transaction re-fetches the
+        *current* attempt and epoch-checks before mutating — a stale
+        reference to a finished ``TxState`` is never written through."""
+        return (self.read_sig, self.write_set, self.store, self.pic, self.vsb)
 
     def reads(self, block: int) -> bool:
         return self.read_sig.test(block)
@@ -135,6 +181,7 @@ class TxState:
         if self.status is TxStatus.ABORTING:
             return  # already dying; first reason wins
         self.status = TxStatus.ABORTING
+        self.active = False
         self.abort_reason = reason
 
     def finish_abort(self) -> None:
@@ -144,6 +191,7 @@ class TxState:
         self.read_sig.clear()
         self.write_set.clear()
         self.status = TxStatus.ABORTED
+        self.active = False
 
     def can_commit(self) -> bool:
         """Commit gate: every speculatively received block validated."""
@@ -157,3 +205,4 @@ class TxState:
         self.write_set.clear()
         self.pic.reset()
         self.status = TxStatus.COMMITTED
+        self.active = False

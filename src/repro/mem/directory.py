@@ -12,13 +12,19 @@ probed holder answers with a ``SpecResp`` it sends the directory a
 ``CANCEL``, and the directory simply unbusies the block — no ownership or
 sharer change, exactly as Section IV-A prescribes ("the directory is
 oblivious to the forwarding").
+
+Hot-path notes: per-block state and invalidation rounds are ``__slots__``
+records, and the message entry point dispatches through a dense
+per-kind table (``kind.idx``) instead of an if/elif ladder.  Messages the
+directory stores past their delivery callback (queued requests,
+invalidation-round requests) are ``retain()``-ed so the interconnect's
+free list never recycles them under us.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from ..net.messages import DIRECTORY, Message, MessageKind
 from ..net.network import Crossbar
@@ -29,26 +35,47 @@ from ..sim.engine import Engine
 from .memory import MainMemory
 
 
-@dataclass
 class _InvRound:
     """State of an in-progress invalidation round for a GETX."""
 
-    request: Message
-    pending: int
-    refused: bool = False
+    __slots__ = ("request", "pending", "refused")
+
+    def __init__(self, request: Message, pending: int):
+        self.request = request
+        self.pending = pending
+        self.refused = False
 
 
-@dataclass
 class _BlockEntry:
-    owner: Optional[int] = None
-    sharers: Set[int] = field(default_factory=set)
-    busy: bool = False
-    queue: Deque[Message] = field(default_factory=deque)
-    inv_round: Optional[_InvRound] = None
+    """Per-block directory state: owner/sharers plus the busy/queue pair."""
+
+    __slots__ = ("owner", "sharers", "busy", "queue", "inv_round")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+        self.sharers: Set[int] = set()
+        self.busy = False
+        self.queue: Deque[Message] = deque()
+        self.inv_round: Optional[_InvRound] = None
 
 
 class Directory:
     """The coherence directory (co-located with the shared L3)."""
+
+    __slots__ = (
+        "_engine",
+        "_config",
+        "_memory",
+        "_network",
+        "_probe",
+        "_blocks",
+        "_ever_cached",
+        "_handlers",
+        "requests",
+        "forwards",
+        "inv_rounds",
+        "memory_fetches",
+    )
 
     def __init__(
         self,
@@ -71,6 +98,16 @@ class Directory:
         self.forwards = 0
         self.inv_rounds = 0
         self.memory_fetches = 0
+        # Dense dispatch table indexed by ``MessageKind.idx``.
+        handlers: List[Optional[object]] = [None] * len(MessageKind)
+        handlers[MessageKind.GETS.idx] = self._handle_request
+        handlers[MessageKind.GETX.idx] = self._handle_request
+        handlers[MessageKind.UPGRADE.idx] = self._handle_request
+        handlers[MessageKind.CANCEL.idx] = self._handle_cancel
+        handlers[MessageKind.UNBLOCK.idx] = self._handle_unblock
+        handlers[MessageKind.WRITEBACK.idx] = self._handle_writeback
+        handlers[MessageKind.ACK.idx] = self._handle_inv_ack
+        self._handlers = handlers
 
     # ------------------------------------------------------------------
     def _entry(self, block: int) -> _BlockEntry:
@@ -98,19 +135,13 @@ class Directory:
     # Message entry point.
     # ------------------------------------------------------------------
     def handle(self, msg: Message) -> None:
-        kind = msg.kind
-        if kind in (MessageKind.GETS, MessageKind.GETX, MessageKind.UPGRADE):
-            self._handle_request(msg)
-        elif kind is MessageKind.CANCEL:
-            self._finish(msg.block)
-        elif kind is MessageKind.UNBLOCK:
-            self._handle_unblock(msg)
-        elif kind is MessageKind.WRITEBACK:
-            self._handle_writeback(msg)
-        elif kind is MessageKind.ACK:
-            self._handle_inv_ack(msg)
-        else:  # pragma: no cover - protocol violation
+        handler = self._handlers[msg.kind.idx]
+        if handler is None:  # pragma: no cover - protocol violation
             raise RuntimeError(f"directory cannot handle {msg!r}")
+        handler(msg)
+
+    def _handle_cancel(self, msg: Message) -> None:
+        self._finish(msg.block)
 
     # ------------------------------------------------------------------
     def _handle_request(self, msg: Message) -> None:
@@ -119,7 +150,7 @@ class Directory:
             # Strict FIFO: while older requests wait, new arrivals may not
             # jump ahead (otherwise retry convoys — e.g. CAS spinners on
             # the fallback lock — starve a queued request forever).
-            entry.queue.append(msg)
+            entry.queue.append(msg.retain())
             return
         self._process_request(entry, msg)
 
@@ -135,7 +166,7 @@ class Directory:
         if owner is not None and owner != msg.src:
             entry.busy = True
             self.forwards += 1
-            if self._probe:
+            if self._probe._subscribers:
                 self._probe.emit(
                     DirForward(
                         cycle=self._engine.now, block=msg.block, owner=owner,
@@ -157,7 +188,7 @@ class Directory:
         if owner is not None and owner != msg.src:
             entry.busy = True
             self.forwards += 1
-            if self._probe:
+            if self._probe._subscribers:
                 self._probe.emit(
                     DirForward(
                         cycle=self._engine.now, block=msg.block, owner=owner,
@@ -174,9 +205,9 @@ class Directory:
         others = entry.sharers - {msg.src}
         if others:
             entry.busy = True
-            entry.inv_round = _InvRound(request=msg, pending=len(others))
+            entry.inv_round = _InvRound(request=msg.retain(), pending=len(others))
             self.inv_rounds += 1
-            if self._probe:
+            if self._probe._subscribers:
                 self._probe.emit(
                     DirInvRound(
                         cycle=self._engine.now, block=msg.block,
@@ -283,6 +314,9 @@ class Directory:
                 self._grant_exclusive(entry, original)
             else:
                 self._grant_shared(entry, original)
+            # ``original`` never travelled the network, so recycle it
+            # here (the grant paths read it synchronously).
+            original.release()
         else:  # pragma: no cover - protocol violation
             raise RuntimeError(f"bad unblock action {action!r}")
 

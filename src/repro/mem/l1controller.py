@@ -15,8 +15,7 @@ modelled.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.policies import ConflictPolicy, Resolution
 from ..htm.stats import AbortReason, HTMStats
@@ -38,24 +37,78 @@ ValueCallback = Callable[[int], None]
 MsgCallback = Callable[[Message], None]
 
 
-@dataclass
 class _Outstanding:
-    block: int
-    exclusive: bool
-    transactional: bool
-    epoch: int
-    is_validation: bool
-    # Exactly one of the two callbacks is set.
-    on_value: Optional[ValueCallback] = None
-    on_message: Optional[MsgCallback] = None
-    # Pending non-transactional side effects applied at completion.
-    write_value: Optional[int] = None
-    addr: int = 0
-    cas: Optional[tuple] = None  # (expect, new)
+    """One MSHR entry: an in-flight request and its completion context.
+
+    A ``__slots__`` record — one is allocated per coherence request, so
+    it must stay a single compact allocation with no ``__dict__``.
+    """
+
+    __slots__ = (
+        "block",
+        "exclusive",
+        "transactional",
+        "epoch",
+        "is_validation",
+        "on_value",
+        "on_message",
+        "write_value",
+        "addr",
+        "cas",
+    )
+
+    def __init__(
+        self,
+        block: int,
+        exclusive: bool,
+        transactional: bool,
+        epoch: int,
+        is_validation: bool,
+        # Exactly one of the two callbacks is set.
+        on_value: Optional[ValueCallback] = None,
+        on_message: Optional[MsgCallback] = None,
+        # Pending non-transactional side effects applied at completion.
+        write_value: Optional[int] = None,
+        addr: int = 0,
+        cas: Optional[tuple] = None,  # (expect, new)
+    ):
+        self.block = block
+        self.exclusive = exclusive
+        self.transactional = transactional
+        self.epoch = epoch
+        self.is_validation = is_validation
+        self.on_value = on_value
+        self.on_message = on_message
+        self.write_value = write_value
+        self.addr = addr
+        self.cas = cas
 
 
 class L1Controller:
     """Coherence + HTM endpoint for one core."""
+
+    __slots__ = (
+        "core_id",
+        "_engine",
+        "_config",
+        "_htm",
+        "_geometry",
+        "_memory",
+        "_network",
+        "_policy",
+        "_stats",
+        "_lock_block",
+        "_probe",
+        "cache",
+        "_outstanding",
+        "_handlers",
+        "core",
+        "_forwards",
+        "_block_of",
+        "_hit_latency",
+        "_send",
+        "_schedule",
+    )
 
     _req_ids = itertools.count(1)
 
@@ -86,8 +139,28 @@ class L1Controller:
         self._probe = probe if probe is not None else Probe()
         self.cache = L1Cache(config)
         self._outstanding: Dict[int, _Outstanding] = {}
+        # Hot-path constants/bound methods: the system's forwarding flag,
+        # the address→block map, the L1 hit latency, the network injector
+        # and the engine scheduler are all invariant after construction.
+        self._forwards = htm.system.forwards
+        self._block_of = geometry.block_of
+        self._hit_latency = config.l1_hit_latency
+        self._send = network.send
+        self._schedule = engine.schedule
         #: Set lazily by the simulator after cores are built.
         self.core: "Core" = None  # type: ignore[assignment]
+        # Dense dispatch table indexed by ``MessageKind.idx``.
+        handlers: List[Optional[Callable[[Message], None]]] = (
+            [None] * len(MessageKind)
+        )
+        handlers[MessageKind.FWD_GETS.idx] = self._handle_forwarded_probe
+        handlers[MessageKind.FWD_GETX.idx] = self._handle_forwarded_probe
+        handlers[MessageKind.INV.idx] = self._handle_inv
+        handlers[MessageKind.DATA.idx] = self._handle_response
+        handlers[MessageKind.DATA_E.idx] = self._handle_response
+        handlers[MessageKind.SPEC_RESP.idx] = self._handle_response
+        handlers[MessageKind.NACK.idx] = self._handle_response
+        self._handlers = handlers
 
     # ------------------------------------------------------------------
     # Helpers.
@@ -140,15 +213,15 @@ class L1Controller:
             msg.req_produced = tx.levc_has_produced
             msg.req_consumed = tx.levc_has_consumed
             msg.can_consume = is_validation or (
-                self._htm.system.forwards and not tx.power and not tx.vsb.full
+                self._forwards and not tx.power and not tx.vsb.full
             )
         else:
             msg.can_consume = False
-        self._network.send(msg)
+        self._send(msg)
         return req_id
 
     def _hit_latency_callback(self, fn: Callable, *args) -> None:
-        self._engine.schedule(self._config.l1_hit_latency, fn, *args)
+        self._schedule(self._hit_latency, fn, *args)
 
     def _abort_capacity(self, tx: TxState) -> None:
         self.core.abort_tx(AbortReason.CAPACITY)
@@ -167,7 +240,7 @@ class L1Controller:
         if victim is not None and victim.state in ("E", "M"):
             # Notify the directory for owned victims so it does not keep
             # forwarding to us; shared victims are evicted silently.
-            self._network.send(
+            self._send(
                 Message(
                     kind=MessageKind.WRITEBACK,
                     src=self.core_id,
@@ -182,7 +255,7 @@ class L1Controller:
     # Transactional operations (called by the core driver).
     # ------------------------------------------------------------------
     def tx_read(self, tx: TxState, addr: int, callback: ValueCallback) -> None:
-        block = self._geometry.block_of(addr)
+        block = self._block_of(addr)
         tx.track_read(block)
         line = self.cache.lookup(block)
         if line is not None:
@@ -202,13 +275,14 @@ class L1Controller:
     def tx_write(
         self, tx: TxState, addr: int, value: int, callback: ValueCallback
     ) -> None:
-        block = self._geometry.block_of(addr)
+        block = self._block_of(addr)
         tx.track_write(block)
         tx.store.write_word(addr, value)
         line = self.cache.lookup(block)
         if line is not None and line.state in ("E", "M"):
             line.state = "M"
-            line.speculative = True
+            if not line.speculative:
+                self.cache.mark_speculative(block)
             self._hit_latency_callback(callback, 0)
             return
         out = _Outstanding(
@@ -241,7 +315,7 @@ class L1Controller:
     # Non-transactional operations.
     # ------------------------------------------------------------------
     def nontx_read(self, addr: int, callback: ValueCallback) -> None:
-        block = self._geometry.block_of(addr)
+        block = self._block_of(addr)
         line = self.cache.lookup(block)
         if line is not None:
             self._hit_latency_callback(callback, self._memory.read_word(addr))
@@ -258,7 +332,7 @@ class L1Controller:
         self._send_request(MessageKind.GETS, block, out, non_transactional=True)
 
     def nontx_write(self, addr: int, value: int, callback: ValueCallback) -> None:
-        block = self._geometry.block_of(addr)
+        block = self._block_of(addr)
         line = self.cache.lookup(block)
         if line is not None and line.state in ("E", "M") and not line.speculative:
             line.state = "M"
@@ -280,7 +354,7 @@ class L1Controller:
     def nontx_cas(
         self, addr: int, expect: int, new: int, callback: ValueCallback
     ) -> None:
-        block = self._geometry.block_of(addr)
+        block = self._block_of(addr)
         line = self.cache.lookup(block)
         if line is not None and line.state in ("E", "M") and not line.speculative:
             observed = self._memory.read_word(addr)
@@ -304,20 +378,10 @@ class L1Controller:
     # Incoming message dispatch.
     # ------------------------------------------------------------------
     def handle(self, msg: Message) -> None:
-        kind = msg.kind
-        if kind in (MessageKind.FWD_GETS, MessageKind.FWD_GETX):
-            self._handle_forwarded_probe(msg)
-        elif kind is MessageKind.INV:
-            self._handle_inv(msg)
-        elif kind in (
-            MessageKind.DATA,
-            MessageKind.DATA_E,
-            MessageKind.SPEC_RESP,
-            MessageKind.NACK,
-        ):
-            self._handle_response(msg)
-        else:  # pragma: no cover - protocol violation
+        handler = self._handlers[msg.kind.idx]
+        if handler is None:  # pragma: no cover - protocol violation
             raise RuntimeError(f"L1 cannot handle {msg!r}")
+        handler(msg)
 
     # -- Holder side: probes -------------------------------------------
     def _handle_forwarded_probe(self, msg: Message) -> None:
@@ -373,14 +437,14 @@ class L1Controller:
         if outcome.resolution is Resolution.FORWARD_SPEC:
             tx.mark_forwarded()
             self._stats.spec_forwards += 1
-            if self._probe and tx.pic.value != pic_before:
+            if self._probe._subscribers and tx.pic.value != pic_before:
                 self._probe.emit(
                     PicUpdate(
                         cycle=self._engine.now, core=self.core_id,
                         value=tx.pic.value, source="forward",
                     )
                 )
-            self._network.send(
+            self._send(
                 Message(
                     kind=MessageKind.SPEC_RESP,
                     src=self.core_id,
@@ -400,7 +464,7 @@ class L1Controller:
             return
         if outcome.resolution is Resolution.NACK:
             tx.mark_conflicted()
-            self._network.send(
+            self._send(
                 Message(
                     kind=MessageKind.NACK,
                     src=self.core_id,
@@ -435,7 +499,7 @@ class L1Controller:
             self._unblock(msg, "aborted")
 
     def _respond_data(self, probe: Message, kind: MessageKind, data) -> None:
-        self._network.send(
+        self._send(
             Message(
                 kind=kind,
                 src=self.core_id,
@@ -448,7 +512,7 @@ class L1Controller:
         )
 
     def _unblock(self, probe: Message, action: str) -> None:
-        self._network.send(
+        self._send(
             Message(
                 kind=MessageKind.UNBLOCK,
                 src=self.core_id,
@@ -463,7 +527,7 @@ class L1Controller:
         )
 
     def _cancel(self, probe: Message) -> None:
-        self._network.send(
+        self._send(
             Message(
                 kind=MessageKind.CANCEL,
                 src=self.core_id,
@@ -476,7 +540,7 @@ class L1Controller:
         )
 
     def _ack_inv(self, probe: Message, action: str) -> None:
-        self._network.send(
+        self._send(
             Message(
                 kind=MessageKind.ACK,
                 src=self.core_id,
@@ -498,7 +562,7 @@ class L1Controller:
             # Directory-sourced grants keep the block busy until this
             # acknowledgement — sent unconditionally, even for responses
             # addressed to a rolled-back attempt.
-            self._network.send(
+            self._send(
                 Message(
                     kind=MessageKind.UNBLOCK,
                     src=self.core_id,
@@ -588,7 +652,7 @@ class L1Controller:
         tx.mark_consumed()
         pic_before = tx.pic.value
         tx.pic.adopt_from_spec_resp(msg.pic)
-        if self._probe:
+        if self._probe._subscribers:
             self._probe.emit(
                 VsbInsert(
                     cycle=self._engine.now, core=self.core_id,

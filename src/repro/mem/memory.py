@@ -13,7 +13,10 @@ Values live here:
 
 ``block_value`` materialises the 8-word content of a block as seen by a
 given transaction; it is the payload carried by data and SpecResp messages
-and the quantity compared during value-based validation.
+and the quantity compared during value-based validation.  Both classes are
+``__slots__`` records with the geometry constants (word size, words per
+block) bound as plain ints at construction — ``block_value`` and the word
+accessors sit on the coherence hot path.
 """
 
 from __future__ import annotations
@@ -29,23 +32,29 @@ BlockValue = Tuple[int, ...]
 class MainMemory:
     """Committed word store.  Unwritten words read as zero."""
 
+    __slots__ = ("_geometry", "_words", "_wb", "_wpb")
+
     def __init__(self, geometry: Geometry):
         self._geometry = geometry
         self._words: Dict[int, int] = {}
+        self._wb = geometry.word_bytes
+        self._wpb = geometry.words_per_block
 
     @property
     def geometry(self) -> Geometry:
         return self._geometry
 
     def read_word(self, addr: int) -> int:
-        return self._words.get(self._geometry.word_of(addr), 0)
+        return self._words.get(addr // self._wb, 0)
 
     def write_word(self, addr: int, value: int) -> None:
-        self._words[self._geometry.word_of(addr)] = value
+        self._words[addr // self._wb] = value
 
     def block_value(self, block: int) -> BlockValue:
         """Committed content of ``block`` as a word tuple."""
-        return tuple(self._words.get(w, 0) for w in self._geometry.words_in_block(block))
+        get = self._words.get
+        first = block * self._wpb
+        return tuple([get(w, 0) for w in range(first, first + self._wpb)])
 
     def apply_block(self, block: int, value: BlockValue) -> None:
         """Overwrite the committed content of ``block``."""
@@ -69,14 +78,29 @@ class SpeculativeStore:
     memory.
     """
 
+    __slots__ = (
+        "_memory",
+        "_geometry",
+        "_words",
+        "_mem_words",
+        "_received_blocks",
+        "_wb",
+        "_wpb",
+    )
+
     def __init__(self, memory: MainMemory):
         self._memory = memory
         self._geometry = memory.geometry
         self._words: Dict[int, int] = {}
+        # The committed image dict is never rebound, only mutated, so the
+        # overlay can alias it for fallback reads.
+        self._mem_words = memory._words
         # Blocks whose *base* content came from a SpecResp.  Their words are
         # expanded into ``_words`` at receive time; the set is kept for
         # bookkeeping/stats.
         self._received_blocks: Dict[int, BlockValue] = {}
+        self._wb = memory._wb
+        self._wpb = memory._wpb
 
     def __len__(self) -> int:
         return len(self._words)
@@ -86,22 +110,25 @@ class SpeculativeStore:
         return self._words
 
     def read_word(self, addr: int) -> int:
-        word = self._geometry.word_of(addr)
-        if word in self._words:
-            return self._words[word]
-        return self._memory.read_word(addr)
+        word = addr // self._wb
+        value = self._words.get(word)
+        if value is not None:
+            return value
+        return self._mem_words.get(word, 0)
 
     def write_word(self, addr: int, value: int) -> None:
-        self._words[self._geometry.word_of(addr)] = value
+        self._words[addr // self._wb] = value
 
     def has_word(self, addr: int) -> bool:
-        return self._geometry.word_of(addr) in self._words
+        return addr // self._wb in self._words
 
     def block_value(self, block: int) -> BlockValue:
         """Content of ``block`` as this transaction sees it."""
+        own = self._words.get
+        mem = self._mem_words.get
+        first = block * self._wpb
         return tuple(
-            self._words.get(w, self._memory._words.get(w, 0))
-            for w in self._geometry.words_in_block(block)
+            [own(w, mem(w, 0)) for w in range(first, first + self._wpb)]
         )
 
     def install_received_block(self, block: int, value: BlockValue) -> None:
@@ -121,12 +148,12 @@ class SpeculativeStore:
 
     def written_blocks(self) -> set:
         """Blocks containing at least one speculatively written word."""
-        return {self._geometry.block_of_word(w) for w in self._words}
+        block_of_word = self._geometry.block_of_word
+        return {block_of_word(w) for w in self._words}
 
     def commit(self) -> None:
         """Flush the redo image into committed memory (atomic commit)."""
-        for word, value in self._words.items():
-            self._memory._words[word] = value
+        self._mem_words.update(self._words)
         self._words.clear()
         self._received_blocks.clear()
 

@@ -4,14 +4,22 @@ The simplified MESI protocol exchanges the message kinds below.  For
 Fig. 7 the only property that matters is whether a message carries a data
 payload (5 flits at 16-byte flits for a 64-byte line plus header) or is
 control-only (1 flit), mirroring Table I.
+
+Hot-path design: a :class:`Message` is created for every hop of every
+coherence exchange, so it is a ``__slots__`` class (no per-instance
+``__dict__``) backed by a bounded free-list pool — the interconnect
+recycles delivered messages unless a handler retained one (directory
+queueing, invalidation rounds).  The per-kind hot attributes
+(``carries_data``, ``idx``) are precomputed once on the enum members, so
+the send path pays plain C-speed attribute loads instead of property
+calls and enum hashing.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 
 class MessageKind(Enum):
@@ -34,14 +42,22 @@ class MessageKind(Enum):
     UNBLOCK = "Unblock"  # request completed
     WRITEBACK = "Writeback"  # eviction of an owned block
 
-    @property
-    def carries_data(self) -> bool:
-        return self in (
-            MessageKind.DATA,
-            MessageKind.DATA_E,
-            MessageKind.SPEC_RESP,
-            MessageKind.WRITEBACK,
-        )
+
+# Precompute the hot per-kind attributes once.  ``carries_data`` used to
+# be a property doing tuple membership per call; it is now a plain bool
+# on each member (read-only by convention).  ``idx`` gives each kind a
+# dense index for table-driven dispatch and flit accounting.
+_DATA_KINDS = frozenset(
+    (
+        MessageKind.DATA,
+        MessageKind.DATA_E,
+        MessageKind.SPEC_RESP,
+        MessageKind.WRITEBACK,
+    )
+)
+for _i, _kind in enumerate(MessageKind):
+    _kind.idx = _i
+    _kind.carries_data = _kind in _DATA_KINDS
 
 
 #: Node id of the directory in message src/dst fields.
@@ -49,8 +65,11 @@ DIRECTORY = -1
 
 _message_ids = itertools.count()
 
+#: Recycled message instances; bounded so a pathological burst cannot
+#: pin memory forever.
+_POOL_LIMIT = 512
 
-@dataclass
+
 class Message:
     """One message on the interconnect.
 
@@ -62,31 +81,112 @@ class Message:
     threads a response back to the request that caused it.
     """
 
-    kind: MessageKind
-    src: int
-    dst: int
-    block: int
-    data: Optional[Tuple[int, ...]] = None
-    requester: Optional[int] = None
-    exclusive: bool = False
-    pic: Optional[int] = None
-    power: bool = False
-    timestamp: Optional[int] = None
-    epoch: int = 0
-    req_id: int = 0
-    can_consume: bool = True
-    is_validation: bool = False
-    non_transactional: bool = False
-    # LEVC-BE-Idealized: requester chain-endpoint flags (idealized — carried
-    # on every request at no cost, like its ideal timestamps).
-    req_produced: bool = False
-    req_consumed: bool = False
-    # UNBLOCK sub-action from a probed cache back to the directory:
-    # 'xfer' (ownership moved to requester), 'downgrade' (owner became
-    # sharer), 'aborted' (holder aborted; supply memory data),
-    # 'not_present' (stale owner; supply memory data).
-    action: Optional[str] = None
-    uid: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = (
+        "kind",
+        "src",
+        "dst",
+        "block",
+        "data",
+        "requester",
+        "exclusive",
+        "pic",
+        "power",
+        "timestamp",
+        "epoch",
+        "req_id",
+        "can_consume",
+        "is_validation",
+        "non_transactional",
+        "req_produced",
+        "req_consumed",
+        "action",
+        "uid",
+        "_retained",
+        "_pooled",
+    )
+
+    _pool: List["Message"] = []
+
+    def __new__(cls, *args, **kwargs):
+        pool = cls._pool
+        if pool:
+            return pool.pop()
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: int = 0,
+        dst: int = 0,
+        block: int = 0,
+        data: Optional[Tuple[int, ...]] = None,
+        requester: Optional[int] = None,
+        exclusive: bool = False,
+        pic: Optional[int] = None,
+        power: bool = False,
+        timestamp: Optional[int] = None,
+        epoch: int = 0,
+        req_id: int = 0,
+        can_consume: bool = True,
+        is_validation: bool = False,
+        non_transactional: bool = False,
+        # LEVC-BE-Idealized: requester chain-endpoint flags (idealized —
+        # carried on every request at no cost, like its ideal timestamps).
+        req_produced: bool = False,
+        req_consumed: bool = False,
+        # UNBLOCK sub-action from a probed cache back to the directory:
+        # 'xfer' (ownership moved to requester), 'downgrade' (owner became
+        # sharer), 'aborted' (holder aborted; supply memory data),
+        # 'not_present' (stale owner; supply memory data), 'recv'
+        # (grantee acknowledges a directory-sourced response).
+        action: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.block = block
+        self.data = data
+        self.requester = requester
+        self.exclusive = exclusive
+        self.pic = pic
+        self.power = power
+        self.timestamp = timestamp
+        self.epoch = epoch
+        self.req_id = req_id
+        self.can_consume = can_consume
+        self.is_validation = is_validation
+        self.non_transactional = non_transactional
+        self.req_produced = req_produced
+        self.req_consumed = req_consumed
+        self.action = action
+        self.uid = next(_message_ids)
+        self._retained = False
+        self._pooled = False
+
+    # ------------------------------------------------------------------
+    def retain(self) -> "Message":
+        """Opt this message out of post-delivery recycling (a handler
+        stored it past the delivery callback)."""
+        self._retained = True
+        return self
+
+    def release(self) -> None:
+        """Return the message to the free list.
+
+        No-op for retained instances (their lifetime is managed by
+        whoever stored them) and idempotent for already-released ones.
+        References are cleared so a use-after-release fails loudly on
+        ``kind`` instead of silently reading stale fields.
+        """
+        if self._retained or self._pooled:
+            return
+        self._pooled = True
+        self.kind = None  # type: ignore[assignment]
+        self.data = None
+        self.action = None
+        pool = Message._pool
+        if len(pool) < _POOL_LIMIT:
+            pool.append(self)
 
     @property
     def flits(self) -> int:
@@ -95,6 +195,8 @@ class Message:
         return 5 if self.kind.carries_data else 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is None:
+            return "<released Message>"
         return (
             f"<{self.kind.value} {self.src}->{self.dst} blk={self.block:#x}"
             f"{' V' if self.is_validation else ''}"

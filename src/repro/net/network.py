@@ -4,6 +4,15 @@ The paper's machine uses a single-cycle crossbar (Table I).  We model it as
 a fixed per-hop latency and count flits per message class for Fig. 7.  The
 network never reorders messages between the same (src, dst) pair: ties in
 delivery time are broken by send order via the engine's FIFO tie-break.
+
+``send`` is one of the two hottest functions in the simulator (with
+``Engine.run``), so the per-message work is precomputed: flit counts are
+bound at construction, per-kind accounting indexes a dense list via
+``kind.idx`` instead of hashing enum members, and the deliver callback is
+scheduled directly (no wrapper frame).  The *deliver callback* owns
+recycling: the simulator's router ``release()``s each message back to the
+:class:`~repro.net.messages.Message` free list after the handler returns,
+unless the handler retained it.
 """
 
 from __future__ import annotations
@@ -21,6 +30,20 @@ from .messages import Message, MessageKind
 class Crossbar:
     """Delivers messages after ``link_latency`` cycles and accounts flits."""
 
+    __slots__ = (
+        "_engine",
+        "_config",
+        "_deliver",
+        "_probe",
+        "_schedule",
+        "_data_flits",
+        "_control_flits",
+        "_link_latency",
+        "flits_sent",
+        "messages_sent",
+        "_flits_by_idx",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -33,29 +56,41 @@ class Crossbar:
         self._config = config
         self._deliver = deliver
         self._probe = probe if probe is not None else Probe()
+        self._schedule = engine.schedule
+        self._data_flits = config.data_message_flits
+        self._control_flits = config.control_message_flits
+        self._link_latency = config.link_latency
         self.flits_sent: int = 0
         self.messages_sent: int = 0
-        self.flits_by_kind: Counter = Counter()
+        self._flits_by_idx = [0] * len(MessageKind)
+
+    @property
+    def flits_by_kind(self) -> Counter:
+        """Per-kind flit totals (Counter keyed by :class:`MessageKind`)."""
+        return Counter(
+            {
+                kind: self._flits_by_idx[kind.idx]
+                for kind in MessageKind
+                if self._flits_by_idx[kind.idx]
+            }
+        )
 
     def send(self, msg: Message, *, extra_delay: int = 0) -> None:
         """Inject ``msg``; it is delivered after the link latency."""
-        flits = (
-            self._config.data_message_flits
-            if msg.kind.carries_data
-            else self._config.control_message_flits
-        )
+        kind = msg.kind
+        flits = self._data_flits if kind.carries_data else self._control_flits
         self.flits_sent += flits
         self.messages_sent += 1
-        self.flits_by_kind[msg.kind] += flits
+        self._flits_by_idx[kind.idx] += flits
         probe = self._probe
-        if probe:
+        if probe._subscribers:
             now = self._engine.now
             probe.emit(
                 MsgSent(
                     cycle=now,
                     src=msg.src,
                     dst=msg.dst,
-                    msg_kind=msg.kind.value,
+                    msg_kind=kind.value,
                     block=msg.block,
                     pic=msg.pic,
                     power=msg.power,
@@ -64,7 +99,7 @@ class Crossbar:
                     action=msg.action,
                 )
             )
-            if msg.kind is MessageKind.SPEC_RESP:
+            if kind is MessageKind.SPEC_RESP:
                 probe.emit(
                     SpecForward(
                         cycle=now,
@@ -74,22 +109,25 @@ class Crossbar:
                         pic=msg.pic,
                     )
                 )
-        delay = self._config.link_latency + extra_delay
-        self._engine.schedule(delay, self._deliver, msg)
+        if extra_delay:
+            self._schedule(self._link_latency + extra_delay, self._deliver, msg)
+        else:
+            self._schedule(self._link_latency, self._deliver, msg)
 
     def stats(self) -> Dict[str, int]:
         validation_kinds = (MessageKind.GETX, MessageKind.SPEC_RESP)
+        by_idx = self._flits_by_idx
         return {
             "flits": self.flits_sent,
             "messages": self.messages_sent,
             "data_flits": sum(
-                n for kind, n in self.flits_by_kind.items() if kind.carries_data
+                by_idx[kind.idx] for kind in MessageKind if kind.carries_data
             ),
             "control_flits": sum(
-                n for kind, n in self.flits_by_kind.items() if not kind.carries_data
+                by_idx[kind.idx] for kind in MessageKind if not kind.carries_data
             ),
-            "spec_resp_flits": self.flits_by_kind.get(MessageKind.SPEC_RESP, 0),
+            "spec_resp_flits": by_idx[MessageKind.SPEC_RESP.idx],
             "_validation_kinds": sum(
-                self.flits_by_kind.get(kind, 0) for kind in validation_kinds
+                by_idx[kind.idx] for kind in validation_kinds
             ),
         }

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import ClassVar, Dict, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeEvent:
     """Base class: one observed moment of a simulation."""
 
@@ -37,7 +37,7 @@ class ProbeEvent:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MsgSent(ProbeEvent):
     """A message was injected into the interconnect."""
 
@@ -54,7 +54,7 @@ class MsgSent(ProbeEvent):
     action: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpecForward(ProbeEvent):
     """A holder answered a conflicting request with speculative data."""
 
@@ -66,7 +66,7 @@ class SpecForward(ProbeEvent):
     pic: Optional[int] = None  # PiC stamped on the SpecResp (None = power)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxBegin(ProbeEvent):
     """A hardware transaction attempt started running user code."""
 
@@ -77,7 +77,7 @@ class TxBegin(ProbeEvent):
     power: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValidationStart(ProbeEvent):
     """The validation controller re-requested a VSB block exclusively."""
 
@@ -88,7 +88,7 @@ class ValidationStart(ProbeEvent):
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValidationOk(ProbeEvent):
     """A speculated block was validated (genuine data, matching value)."""
 
@@ -99,7 +99,7 @@ class ValidationOk(ProbeEvent):
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValidationMismatch(ProbeEvent):
     """A validation response carried a different value: consumer aborts."""
 
@@ -110,7 +110,7 @@ class ValidationMismatch(ProbeEvent):
     epoch: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PicUpdate(ProbeEvent):
     """A core's Position-in-Chain register changed value."""
 
@@ -121,7 +121,7 @@ class PicUpdate(ProbeEvent):
     source: str = ""  # "forward" (holder re-anchor) | "adopt" (SpecResp)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VsbInsert(ProbeEvent):
     """A speculatively received block entered the VSB."""
 
@@ -132,7 +132,7 @@ class VsbInsert(ProbeEvent):
     occupancy: int = 0  # occupancy *after* the insert
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VsbDrain(ProbeEvent):
     """A VSB entry retired; ``occupancy`` 0 means the buffer drained."""
 
@@ -143,7 +143,7 @@ class VsbDrain(ProbeEvent):
     occupancy: int = 0  # occupancy *after* the retire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit(ProbeEvent):
     """A hardware transaction committed."""
 
@@ -155,7 +155,7 @@ class Commit(ProbeEvent):
     label: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Abort(ProbeEvent):
     """A hardware transaction attempt rolled back."""
 
@@ -167,7 +167,7 @@ class Abort(ProbeEvent):
     label: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FallbackAcquire(ProbeEvent):
     """A core acquired the global fallback lock (serialized execution)."""
 
@@ -176,7 +176,7 @@ class FallbackAcquire(ProbeEvent):
     core: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerElevate(ProbeEvent):
     """A core was granted the power token (elevated priority)."""
 
@@ -185,7 +185,7 @@ class PowerElevate(ProbeEvent):
     core: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirForward(ProbeEvent):
     """The directory forwarded a request to the current owner."""
 
@@ -197,7 +197,7 @@ class DirForward(ProbeEvent):
     exclusive: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirInvRound(ProbeEvent):
     """The directory started an invalidation round for a GETX."""
 

@@ -54,6 +54,11 @@ class Core:
         self.validation = ValidationController(self)
 
         self.tx: Optional[TxState] = None
+        # Reusable TxState sub-objects (signature, write set, store, PiC,
+        # VSB), harvested from the first attempt and recycled for every
+        # later one — a retry allocates one TxState and one AttemptRecord
+        # instead of seven objects.
+        self._tx_machinery: Optional[tuple] = None
         self._epoch = 0
         self._thread: Optional[Generator] = None
         self.done = False
@@ -92,15 +97,18 @@ class Core:
             self.done = True
             self.sim.core_finished(self.core_id)
             return
-        if isinstance(op, Txn):
+        # Exact-type dispatch: the op protocol is a closed set of frozen
+        # records, so ``is``-comparisons beat isinstance() on this hot path.
+        cls = op.__class__
+        if cls is Txn:
             self._start_txn(op)
-        elif isinstance(op, Read):
+        elif cls is Read:
             self.l1.nontx_read(op.addr, self._advance_thread)
-        elif isinstance(op, Write):
+        elif cls is Write:
             self.l1.nontx_write(op.addr, op.value, lambda _v: self._advance_thread(None))
-        elif isinstance(op, AtomicCAS):
+        elif cls is AtomicCAS:
             self.l1.nontx_cas(op.addr, op.expect, op.new, self._advance_thread)
-        elif isinstance(op, Work):
+        elif cls is Work:
             self.engine.schedule(max(1, op.cycles), self._advance_thread, None)
         else:
             raise TypeError(f"thread yielded unsupported op {op!r}")
@@ -130,7 +138,10 @@ class Core:
             htm=self.htm,
             power=self._power,
             timestamp=self._levc_timestamp,
+            machinery=self._tx_machinery,
         )
+        if self._tx_machinery is None:
+            self._tx_machinery = self.tx.machinery()
         # Eager lock subscription.
         epoch = self._epoch
         self.l1.tx_read(
@@ -149,7 +160,7 @@ class Core:
         assert self._txn is not None
         self.stats.tx_attempts += 1
         probe = self.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 obs.TxBegin(
                     cycle=self.engine.now, core=self.core_id,
@@ -189,17 +200,18 @@ class Core:
         except StopIteration as stop:
             self._try_commit(stop.value)
             return
-        if isinstance(op, Read):
+        cls = op.__class__
+        if cls is Read:
             self.l1.tx_read(tx, op.addr, lambda v: self._advance_tx(epoch, v))
-        elif isinstance(op, Write):
+        elif cls is Write:
             self.l1.tx_write(
                 tx, op.addr, op.value, lambda _v: self._advance_tx(epoch, None)
             )
-        elif isinstance(op, Work):
+        elif cls is Work:
             self.engine.schedule(
                 max(1, op.cycles), self._advance_tx, epoch, None
             )
-        elif isinstance(op, Abort):
+        elif cls is Abort:
             self._explicit_abort(op)
         else:
             raise TypeError(f"transaction yielded unsupported op {op!r}")
@@ -243,7 +255,7 @@ class Core:
         tx.record.outcome = AttemptOutcome.COMMITTED
         self.stats.record_attempt(tx.record)
         probe = self.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 obs.Commit(
                     cycle=self.engine.now, core=self.core_id, epoch=tx.epoch,
@@ -274,7 +286,7 @@ class Core:
         if tx is None or not tx.active:
             return
         probe = self.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 obs.Abort(
                     cycle=self.engine.now, core=self.core_id, epoch=tx.epoch,
@@ -359,7 +371,7 @@ class Core:
         self._power = True
         self._power_attempts = 0
         probe = self.sim.probe
-        if probe:
+        if probe._subscribers:
             probe.emit(
                 obs.PowerElevate(cycle=self.engine.now, core=self.core_id)
             )
@@ -374,7 +386,7 @@ class Core:
         if observed == LOCK_FREE:
             self.sim.lock.acquisitions += 1
             probe = self.sim.probe
-            if probe:
+            if probe._subscribers:
                 probe.emit(
                     obs.FallbackAcquire(
                         cycle=self.engine.now, core=self.core_id
@@ -398,15 +410,16 @@ class Core:
         except StopIteration as stop:
             self._finish_fallback(stop.value)
             return
-        if isinstance(op, Read):
+        cls = op.__class__
+        if cls is Read:
             self.l1.nontx_read(op.addr, self._advance_fallback)
-        elif isinstance(op, Write):
+        elif cls is Write:
             self.l1.nontx_write(
                 op.addr, op.value, lambda _v: self._advance_fallback(None)
             )
-        elif isinstance(op, Work):
+        elif cls is Work:
             self.engine.schedule(max(1, op.cycles), self._advance_fallback, None)
-        elif isinstance(op, Abort):
+        elif cls is Abort:
             # An explicit abort under the lock restarts the body (the lock
             # is still held, so this cannot livelock against other cores).
             self._tgen = self._txn.body(*self._txn.args)

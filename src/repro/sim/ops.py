@@ -8,30 +8,45 @@ is just a generator *function*, an aborted attempt restarts by
 instantiating a fresh generator — re-executing the body with the values it
 observes on the new attempt, exactly like re-running the instructions after
 a hardware rollback.
+
+The op records are plain ``__slots__`` classes rather than dataclasses:
+workloads construct tens of thousands of them per run, and the frozen
+dataclass ``__init__`` (one ``object.__setattr__`` per field) dominated the
+workload-side profile.  They are immutable by convention — the driver only
+ever reads them — and dispatched by exact type (``op.__class__ is Read``),
+so no dataclass machinery is needed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple
 
 
-@dataclass(frozen=True)
 class Read:
     """Load the word at ``addr``; the read value is sent back."""
 
-    addr: int
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Read(addr={self.addr!r})"
 
 
-@dataclass(frozen=True)
 class Write:
     """Store ``value`` to the word at ``addr``."""
 
-    addr: int
-    value: int
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: int):
+        self.addr = addr
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Write(addr={self.addr!r}, value={self.value!r})"
 
 
-@dataclass(frozen=True)
 class AtomicCAS:
     """Non-transactional compare-and-swap on the word at ``addr``.
 
@@ -42,19 +57,32 @@ class AtomicCAS:
     already atomic, so plain Read/Write suffice.
     """
 
-    addr: int
-    expect: int
-    new: int
+    __slots__ = ("addr", "expect", "new")
+
+    def __init__(self, addr: int, expect: int, new: int):
+        self.addr = addr
+        self.expect = expect
+        self.new = new
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomicCAS(addr={self.addr!r}, expect={self.expect!r}, "
+            f"new={self.new!r})"
+        )
 
 
-@dataclass(frozen=True)
 class Work:
     """Spend ``cycles`` of local computation."""
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"Work(cycles={self.cycles!r})"
 
 
-@dataclass(frozen=True)
 class Abort:
     """Explicitly abort the enclosing transaction (e.g. ``_xabort``).
 
@@ -63,10 +91,15 @@ class Abort:
     the fallback path.
     """
 
-    no_retry: bool = False
+    __slots__ = ("no_retry",)
+
+    def __init__(self, no_retry: bool = False):
+        self.no_retry = no_retry
+
+    def __repr__(self) -> str:
+        return f"Abort(no_retry={self.no_retry!r})"
 
 
-@dataclass(frozen=True)
 class Txn:
     """Top-level marker: run ``body(ctx, *args)`` as a transaction.
 
@@ -75,10 +108,24 @@ class Txn:
     or the fallback path).
     """
 
-    body: Callable[..., Any]
-    args: Tuple = field(default_factory=tuple)
-    #: Label for per-transaction-site statistics (optional).
-    label: str = ""
+    __slots__ = ("body", "args", "label")
+
+    def __init__(
+        self,
+        body: Callable[..., Any],
+        args: Tuple = (),
+        label: str = "",
+    ):
+        self.body = body
+        self.args = args
+        #: Label for per-transaction-site statistics (optional).
+        self.label = label
+
+    def __repr__(self) -> str:
+        return (
+            f"Txn(body={self.body!r}, args={self.args!r}, "
+            f"label={self.label!r})"
+        )
 
 
 #: Union type of everything a transaction body may yield.

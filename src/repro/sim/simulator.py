@@ -12,7 +12,7 @@ from ..htm.stats import HTMStats
 from ..mem.directory import Directory
 from ..mem.l1controller import L1Controller
 from ..mem.memory import MainMemory
-from ..net.messages import DIRECTORY, Message
+from ..net.messages import Message
 from ..net.network import Crossbar
 from ..obs.interval import IntervalMetrics
 from ..obs.probe import Probe
@@ -84,6 +84,12 @@ class Simulator:
         for l1, core in zip(self.l1s, self.cores):
             l1.core = core
 
+        # Dense delivery table indexed by ``msg.dst``: cores at 0..N-1 and
+        # the directory (dst == DIRECTORY == -1) in the last slot via
+        # Python's negative indexing.
+        self._dst_handlers = [l1.handle for l1 in self.l1s]
+        self._dst_handlers.append(self.directory.handle)
+
         self._timestamps = itertools.count(1)
         self._finished = 0
         self._started = 0
@@ -92,10 +98,9 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def _route(self, msg: Message) -> None:
-        if msg.dst == DIRECTORY:
-            self.directory.handle(msg)
-        else:
-            self.l1s[msg.dst].handle(msg)
+        self._dst_handlers[msg.dst](msg)
+        # Recycle unless the handler retained the message past delivery.
+        msg.release()
 
     def next_timestamp(self) -> int:
         """Ideal, never-rolling-over LEVC timestamps (Section VI-B)."""

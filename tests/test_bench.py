@@ -1,0 +1,119 @@
+"""The ``repro bench`` harness and its regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import bench
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+import check_bench  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One real (tiny) measured report, shared across the module."""
+    return bench.run_suite(workloads=["synth"], quick=True, repeat=1)
+
+
+class TestSuite:
+    def test_report_envelope(self, quick_report):
+        assert quick_report["schema"] == bench.SCHEMA_VERSION
+        assert quick_report["quick"] is True
+        assert list(quick_report["cases"]) == ["synth/chats/t8/s1/x1"]
+
+    def test_case_record(self, quick_report):
+        case = quick_report["cases"]["synth/chats/t8/s1/x1"]
+        assert case["events"] > 0
+        assert case["cycles"] > 0
+        assert case["seconds_best"] > 0
+        assert case["events_per_sec"] == pytest.approx(
+            case["events"] / case["seconds_best"]
+        )
+
+    def test_deterministic_simulated_work(self):
+        # The pinned config must simulate identical work every run —
+        # that is what makes events/sec comparable across revisions.
+        a = bench.run_suite(workloads=["synth"], quick=True, repeat=1)
+        b = bench.run_suite(workloads=["synth"], quick=True, repeat=1)
+        key = "synth/chats/t8/s1/x1"
+        assert a["cases"][key]["events"] == b["cases"][key]["events"]
+        assert a["cases"][key]["cycles"] == b["cases"][key]["cycles"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_suite(workloads=["no-such-workload"])
+
+    def test_report_roundtrip(self, quick_report, tmp_path):
+        out = tmp_path / "BENCH_test.json"
+        bench.write_report(quick_report, out)
+        assert json.loads(out.read_text()) == quick_report
+
+    def test_format_report(self, quick_report):
+        text = bench.format_report(quick_report)
+        assert "synth/chats/t8/s1/x1" in text
+        assert "events/s" in text
+
+
+class TestCheckBench:
+    def test_validate_accepts_real_report(self, quick_report):
+        assert check_bench.validate_report(quick_report) == []
+
+    def test_validate_rejects_missing_keys(self, quick_report):
+        broken = dict(quick_report)
+        del broken["rev"]
+        assert any("rev" in p for p in check_bench.validate_report(broken))
+
+    def test_validate_rejects_broken_case(self, quick_report):
+        broken = json.loads(json.dumps(quick_report))
+        case = next(iter(broken["cases"].values()))
+        del case["events_per_sec"]
+        assert check_bench.validate_report(broken)
+
+    def test_gate_passes_above_floor(self, quick_report, capsys):
+        key = next(iter(quick_report["cases"]))
+        measured = quick_report["cases"][key]["events_per_sec"]
+        baseline = {"cases": {key: measured}}  # exactly at reference
+        assert check_bench.gate(quick_report, baseline, 0.15) == 0
+
+    def test_gate_fails_below_floor(self, quick_report, capsys):
+        key = next(iter(quick_report["cases"]))
+        measured = quick_report["cases"][key]["events_per_sec"]
+        baseline = {"cases": {key: measured * 2}}  # 50% regression
+        assert check_bench.gate(quick_report, baseline, 0.15) == 1
+
+    def test_gate_rss_ceiling(self, quick_report, capsys):
+        baseline = {"cases": {}, "max_peak_rss_kb": 1}
+        assert check_bench.gate(quick_report, baseline, 0.15) == 1
+
+    def test_update_baseline_roundtrip(self, quick_report, tmp_path):
+        path = tmp_path / "baseline.json"
+        check_bench.update_baseline(quick_report, path)
+        baseline = json.loads(path.read_text())
+        key = next(iter(quick_report["cases"]))
+        assert baseline["cases"][key] == round(
+            quick_report["cases"][key]["events_per_sec"]
+        )
+        # Freshly re-baselined numbers must gate cleanly.
+        assert check_bench.gate(quick_report, baseline, 0.15) == 0
+
+    def test_cli_end_to_end(self, quick_report, tmp_path, capsys):
+        report_path = tmp_path / "bench.json"
+        bench.write_report(quick_report, report_path)
+        baseline_path = tmp_path / "baseline.json"
+        check_bench.update_baseline(quick_report, baseline_path)
+        rc = check_bench.main(
+            [str(report_path), "--baseline", str(baseline_path)]
+        )
+        assert rc == 0
+
+    def test_committed_baseline_covers_pinned_suite(self):
+        baseline = json.loads(check_bench.DEFAULT_BASELINE.read_text())
+        for case in bench.BENCH_CASES:
+            for quick in (False, True):
+                assert case.key(quick=quick) in baseline["cases"], (
+                    f"benchmarks/perf/baseline.json lacks a reference for "
+                    f"{case.key(quick=quick)}"
+                )

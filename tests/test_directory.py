@@ -34,7 +34,9 @@ class Harness:
         if msg.dst == DIRECTORY:
             self.directory.handle(msg)
         else:
-            self.delivered.append(msg)
+            # The crossbar recycles messages after delivery; the harness
+            # keeps them for assertions, so it must retain them.
+            self.delivered.append(msg.retain())
 
     def send(self, kind, src, *, block=BLOCK, req_id=1, **kw):
         self.directory.handle(

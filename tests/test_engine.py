@@ -190,3 +190,112 @@ class TestDeterminism:
         engine.run()
         # Events must be ordered by (time, insertion order).
         assert out == sorted(out, key=lambda pair: (pair[0], pair[1]))
+
+
+class TestFastLanes:
+    """Ordering across the zero-delay, next-cycle, and bucket paths."""
+
+    def test_delay_one_fires_after_same_cycle_bucket_entries(self):
+        # An entry scheduled two cycles early (bucket path) must fire
+        # before a delay-1 entry for the same cycle (next-lane path):
+        # bucket entries are always globally older.
+        engine = Engine()
+        order = []
+        engine.schedule(2, order.append, "bucket")
+
+        def at_cycle_one():
+            engine.schedule(1, order.append, "next-lane")
+
+        engine.schedule(1, at_cycle_one)
+        engine.run()
+        assert order == ["bucket", "next-lane"]
+
+    def test_mixed_delays_interleave_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        # All three paths targeting the same cycle, scheduled from
+        # different origins; global schedule order must win.
+        engine.schedule(3, order.append, "a")  # bucket for cycle 3
+
+        def at_two():
+            engine.schedule(1, order.append, "b")  # next-lane for cycle 3
+
+        engine.schedule(2, at_two)
+
+        def at_three_first(tag):
+            order.append(tag)
+            engine.schedule(0, order.append, "d")  # zero-lane, cycle 3
+
+        engine.schedule(3, at_three_first, "c")
+        engine.run()
+        assert order == ["a", "c", "b", "d"]
+
+    def test_delay_one_respects_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1, fired.append, 1)
+        assert engine.run(until=0) == 0
+        assert fired == []
+        engine.run()
+        assert fired == [1]
+
+    def test_delay_one_chain_advances_one_cycle_at_a_time(self):
+        engine = Engine()
+        cycles = []
+
+        def tick(n):
+            cycles.append(engine.now)
+            if n:
+                engine.schedule(1, tick, n - 1)
+
+        engine.schedule(1, tick, 4)
+        engine.run()
+        assert cycles == [1, 2, 3, 4, 5]
+
+
+class TestCancellationLeak:
+    """A workload that arms and cancels timers forever must keep the
+    queue bounded (regression test for the cancelled-event leak)."""
+
+    def test_cancelled_events_are_reclaimed(self):
+        engine = Engine()
+        rounds = 5_000
+
+        def arm_and_cancel(n):
+            # Arm a far-future timer, then immediately cancel it — the
+            # validation-controller pattern that used to accumulate dead
+            # entries until the far-future cycle drained.
+            token = engine.schedule(10_000, lambda: None)
+            token.cancel()
+            if n:
+                engine.schedule(1, arm_and_cancel, n - 1)
+
+        engine.schedule(1, arm_and_cancel, rounds)
+        engine.run(until=rounds + 10)
+        # Live queue is empty; the dead backlog must stay below the
+        # compaction threshold (plus the live count at trigger time),
+        # not grow with the number of cancelled timers.
+        assert engine.pending() == 0
+        queued = sum(len(b) for b in engine._buckets.values())
+        queued += len(engine._lane) + len(engine._next)
+        assert queued <= 2 * Engine.COMPACT_THRESHOLD, (
+            f"{queued} dead entries retained after {rounds} cancels"
+        )
+
+    def test_cancel_in_next_lane_is_reclaimed(self):
+        engine = Engine()
+        for _ in range(1_000):
+            engine.schedule(1, lambda: None).cancel()
+        assert engine.pending() == 0
+        assert len(engine._next) <= 2 * Engine.COMPACT_THRESHOLD
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        token = engine.schedule(1, lambda: None)
+        engine.run()
+        live = engine.pending()
+        token.cancel()  # already fired: must not corrupt the counters
+        token.cancel()
+        assert engine.pending() == live == 0
+        engine.schedule(1, lambda: None)
+        assert engine.pending() == 1

@@ -32,7 +32,10 @@ class TestCrossbar:
     def _net(self):
         engine = Engine()
         delivered = []
-        net = Crossbar(engine, SystemConfig(), delivered.append)
+        # Retain on capture: the crossbar recycles delivered messages.
+        net = Crossbar(
+            engine, SystemConfig(), lambda m: delivered.append(m.retain())
+        )
         return engine, net, delivered
 
     def test_delivery_after_link_latency(self):

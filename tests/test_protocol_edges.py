@@ -14,10 +14,13 @@ from repro.sim.ops import Abort, AtomicCAS, Read, ThreadOp, Txn, TxOp, Work, Wri
 
 
 class TestOps:
-    def test_ops_are_frozen(self):
+    def test_ops_are_slotted(self):
+        # Ops are compact __slots__ records (no per-instance __dict__) and
+        # immutable by convention: nothing may hang new state off them.
         op = Read(addr=8)
+        assert not hasattr(op, "__dict__")
         with pytest.raises(AttributeError):
-            op.addr = 16
+            op.bogus = 1
 
     def test_txn_defaults(self):
         def body():
