@@ -4,19 +4,24 @@ Effective Concurrency Management in Hardware Transactional Memory*
 
 The package contains an event-driven multicore simulator (cores, MESI
 directory coherence, L1 caches with speculative versioning, a crossbar
-interconnect), six best-effort HTM systems (requester-wins baseline,
-naive requester-speculates, CHATS, PowerTM, PCHATS, and LEVC-BE-Idealized),
-re-implementations of the STAMP benchmarks plus the paper's two
-microbenchmarks, and a harness regenerating every table and figure of the
-paper's evaluation.
+interconnect), a registry of best-effort HTM systems composed from
+pluggable mechanism layers (the paper's six — requester-wins baseline,
+naive requester-speculates, CHATS, PowerTM, PCHATS, LEVC-BE-Idealized —
+plus registry-defined extras), re-implementations of the STAMP benchmarks
+plus the paper's two microbenchmarks, and a harness regenerating every
+table and figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import run_workload, SystemKind
+    from repro import run_workload
 
-    base = run_workload("kmeans-h", system=SystemKind.BASELINE, scale=0.1)
-    chats = run_workload("kmeans-h", system=SystemKind.CHATS, scale=0.1)
+    base = run_workload("kmeans-h", system="baseline", scale=0.1)
+    chats = run_workload("kmeans-h", system="chats", scale=0.1)
     print(chats.normalized_time(base))  # < 1.0: CHATS is faster
+
+New systems are composed and registered without touching the simulator —
+see :mod:`repro.systems` (``register``/``SystemSpec``) and the "Systems
+registry" section of ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +40,14 @@ from .sim.invariants import InvariantViolation, check_invariants, check_quiescen
 from .sim.results import SimulationResult
 from .sim.simulator import DeadlockError, Simulator, run_simulation
 from .sim.tracing import TraceEvent, Tracer
+from .systems import (
+    SystemSpec,
+    UnknownSystemError,
+    get_spec,
+    paper_systems,
+    register,
+    registered_systems,
+)
 from .workloads.base import Workload, make_workload, workload_names
 from .workloads.scripted import ScriptedWorkload
 
@@ -55,14 +68,20 @@ __all__ = [
     "Simulator",
     "SystemConfig",
     "SystemKind",
+    "SystemSpec",
     "TraceEvent",
     "Tracer",
     "DeadlockError",
     "Workload",
     "all_system_kinds",
+    "UnknownSystemError",
     "check_invariants",
     "check_quiescent",
+    "get_spec",
     "make_workload",
+    "paper_systems",
+    "register",
+    "registered_systems",
     "run_simulation",
     "run_workload",
     "table2_config",
@@ -72,7 +91,7 @@ __all__ = [
 
 def run_workload(
     name: str,
-    system: SystemKind = SystemKind.BASELINE,
+    system: "SystemSpec | str" = "baseline",
     *,
     threads: int = 16,
     seed: int = 1,

@@ -45,20 +45,18 @@ import argparse
 import os
 import sys
 
-from . import SystemKind, all_system_kinds, workload_names
+from . import all_system_kinds, workload_names
 from .experiments import runner
 from .experiments.registry import EXPERIMENTS, experiment_configs
 from .experiments.figures import FIGURES, run_figure
+from .systems import UnknownSystemError, get_spec, registered_systems
 
 
-def _system_from_name(name: str) -> SystemKind:
-    for kind in SystemKind:
-        if kind.value == name:
-            return kind
-    raise SystemExit(
-        f"unknown system {name!r}; choose from "
-        f"{[k.value for k in SystemKind]}"
-    )
+def _system_from_name(name: str):
+    try:
+        return get_spec(name)
+    except UnknownSystemError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _print_result(result) -> None:
@@ -288,8 +286,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name in workload_names():
         print(f"  {name}")
     print("systems:")
-    for kind in SystemKind:
-        print(f"  {kind.value}")
+    for spec in registered_systems():
+        print(f"  {spec.name:<18s} {spec.describe_layers()}")
+        print(f"  {'':<18s} {spec.describe_table2()}")
     print("experiments:")
     for exp_id, exp in sorted(EXPERIMENTS.items()):
         print(f"  {exp_id:<8s} {exp.title}  [{exp.bench}]")

@@ -1,247 +1,42 @@
-"""Conflict resolution policies for the six HTM systems (Section VI-B).
+"""Conflict resolution policies (compatibility shim).
 
-A :class:`ConflictPolicy` is consulted by the L1 controller of the *holder*
-(the cache that detects a conflict on an incoming probe).  It returns a
-:class:`PolicyOutcome` naming one of three resolutions:
-
-* ``ABORT_LOCAL`` — requester-wins: the holder's transaction aborts and the
-  request is satisfied with non-speculative data;
-* ``FORWARD_SPEC`` — requester-speculates: the holder answers with a
-  ``SpecResp`` carrying its current (speculative) value and cancels the
-  request at the directory, retaining coherence ownership;
-* ``NACK`` — requester-stalls: the requester receives a negative response
-  and retries later (PowerTM holders; LEVC's base policy).
-
-Policies mutate holder-side chain state (PiC, LEVC flags) as a side effect
-of deciding, exactly where the hardware would.
+The policy machinery now lives in :mod:`repro.systems`, decomposed into
+mechanism layers: conflict components (:mod:`repro.systems.conflict`),
+ordering schemes (:mod:`repro.systems.ordering`), the power-priority
+wrapper (:mod:`repro.systems.priority`), validation schemes
+(:mod:`repro.systems.validation`), and the spec-driven composer
+(:func:`repro.systems.compose.make_policy`).  This module re-exports the
+historical names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
-from typing import Optional
+from ..systems.base import ConflictPolicy
+from ..systems.compose import make_policy
+from ..systems.conflict import (
+    BaselineRW,
+    CHATS,
+    LEVCBEIdealized,
+    NaiveRS,
+    RequesterSpeculates,
+    RequesterStalls,
+    RequesterWins,
+)
+from ..systems.outcome import ABORT, PolicyOutcome, Resolution
+from ..systems.priority import PowerPriority
 
-from ..htm.stats import AbortReason
-from ..htm.txstate import TxState
-from ..net.messages import Message
-from ..sim.config import HTMConfig, SystemKind
-from .forwarding import InflightWriteProbe, block_is_forwardable
-from .pic import HolderAction
-
-
-class Resolution(Enum):
-    ABORT_LOCAL = "abort-local"
-    FORWARD_SPEC = "forward-spec"
-    NACK = "nack"
-
-
-@dataclass
-class PolicyOutcome:
-    resolution: Resolution
-    #: PiC stamped on the SpecResp (None for naive/LEVC/power producers).
-    message_pic: Optional[int] = None
-    #: Abort reason charged to the holder on ABORT_LOCAL.
-    abort_reason: AbortReason = AbortReason.CONFLICT
-    #: SpecResp originates from a power transaction (PCHATS): the consumer
-    #: keeps its PiC.
-    from_power: bool = False
-
-
-ABORT = PolicyOutcome(Resolution.ABORT_LOCAL)
-
-
-class ConflictPolicy:
-    """Strategy interface; one instance per simulation run."""
-
-    def __init__(self, htm: HTMConfig):
-        self.htm = htm
-
-    def resolve(
-        self,
-        holder: TxState,
-        msg: Message,
-        inflight_write: InflightWriteProbe,
-    ) -> PolicyOutcome:
-        raise NotImplementedError
-
-    # Hooks for the consumer-side validation controller -----------------
-    def on_unsuccessful_validation(self, tx: TxState) -> Optional[AbortReason]:
-        """Called when a validation attempt returns still-speculative but
-        matching data.  Returns an abort reason to kill the consumer, or
-        None to keep waiting."""
-        return None
-
-    def on_successful_validation(self, tx: TxState) -> None:
-        """Called when a block is fully validated."""
-
-    def _common_guards(
-        self,
-        holder: TxState,
-        msg: Message,
-        inflight_write: InflightWriteProbe,
-    ) -> Optional[PolicyOutcome]:
-        """Checks shared by every forwarding policy.  Returns an outcome to
-        short-circuit with, or None to continue to the policy's own rules."""
-        if msg.non_transactional:
-            # Conflicting non-transactional requests always use
-            # requester-wins (Section IV-A).
-            return ABORT
-        if not msg.can_consume:
-            # The requester has no VSB slot (or cannot consume at all).
-            return ABORT
-        if self.htm.forward_class is None or not block_is_forwardable(
-            self.htm.forward_class, holder, msg.block, inflight_write
-        ):
-            return ABORT
-        return None
-
-
-class BaselineRW(ConflictPolicy):
-    """Intel RTM-like requester-wins: the holder always aborts."""
-
-    def resolve(self, holder, msg, inflight_write):
-        return ABORT
-
-
-class NaiveRS(ConflictPolicy):
-    """Naive requester-speculates: forward whenever structurally possible,
-    with no dependency tracking.  Consumers escape cyclic waits through a
-    4-bit unsuccessful-validation counter (Section VI-B)."""
-
-    def resolve(self, holder, msg, inflight_write):
-        guard = self._common_guards(holder, msg, inflight_write)
-        if guard is not None:
-            return guard
-        return PolicyOutcome(Resolution.FORWARD_SPEC, message_pic=None)
-
-    def on_unsuccessful_validation(self, tx: TxState) -> Optional[AbortReason]:
-        tx.naive_budget -= 1
-        if tx.naive_budget <= 0:
-            return AbortReason.NAIVE_LIMIT
-        return None
-
-    def on_successful_validation(self, tx: TxState) -> None:
-        tx.naive_budget = self.htm.naive_validation_budget
-
-
-class CHATS(ConflictPolicy):
-    """The paper's proposal: PiC-guided choice between requester-speculates
-    and requester-wins (Sections III-B and IV-C)."""
-
-    def resolve(self, holder, msg, inflight_write):
-        guard = self._common_guards(holder, msg, inflight_write)
-        if guard is not None:
-            return guard
-        decision = holder.pic.decide_as_holder(msg.pic)
-        if decision.action is HolderAction.ABORT_LOCAL:
-            return PolicyOutcome(
-                Resolution.ABORT_LOCAL, abort_reason=AbortReason.CYCLE
-            )
-        if decision.new_local_pic is not None:
-            holder.pic.value = decision.new_local_pic
-        return PolicyOutcome(
-            Resolution.FORWARD_SPEC, message_pic=decision.message_pic
-        )
-
-
-class Power(ConflictPolicy):
-    """PowerTM: dual priority.  The (single) power transaction wins every
-    conflict; as holder it issues NACKs that do not invalidate the
-    requester's data, as requester it aborts the holder."""
-
-    def resolve(self, holder, msg, inflight_write):
-        if msg.non_transactional:
-            return ABORT
-        if holder.power:
-            return PolicyOutcome(Resolution.NACK)
-        if msg.power:
-            return PolicyOutcome(
-                Resolution.ABORT_LOCAL, abort_reason=AbortReason.POWER
-            )
-        return ABORT
-
-
-class PCHATS(ConflictPolicy):
-    """CHATS + PowerTM (Section VI-B).
-
-    Power transactions are exclusively *producers*: they sit above every
-    chain (their SpecResps carry no PiC and consumers keep theirs), they
-    never consume, and conflicts are always resolved in their favour.
-    """
-
-    def __init__(self, htm: HTMConfig):
-        super().__init__(htm)
-        self._chats = CHATS(htm)
-
-    def resolve(self, holder, msg, inflight_write):
-        if msg.non_transactional:
-            return ABORT
-        if holder.power:
-            if msg.can_consume and self.htm.forward_class is not None and block_is_forwardable(
-                self.htm.forward_class, holder, msg.block, inflight_write
-            ):
-                return PolicyOutcome(
-                    Resolution.FORWARD_SPEC, message_pic=None, from_power=True
-                )
-            return PolicyOutcome(Resolution.NACK)
-        if msg.power:
-            # Power requesters never consume; the holder yields.
-            return PolicyOutcome(
-                Resolution.ABORT_LOCAL, abort_reason=AbortReason.POWER
-            )
-        return self._chats.resolve(holder, msg, inflight_write)
-
-
-class LEVCBEIdealized(ConflictPolicy):
-    """Best-effort adaptation of LEVC (Section VI-B).
-
-    Built on a requester-stall base with *ideal* timestamps: on a conflict
-    the holder forwards a speculative value when LEVC's restrictions allow
-    — the producer must not already have a consumer, must not itself have
-    consumed (chains of length at most 1), and the requester must be an
-    endpoint too.  Otherwise the classic timestamp order decides: an older
-    requester aborts the holder, a younger requester is NACKed and stalls.
-
-    The deadlock-avoidance scheme is *unaware* of forwarding dependencies
-    (the paper's key criticism): a producer can be selected as victim after
-    having forwarded, silently dooming its consumer to a validation abort.
-    """
-
-    def resolve(self, holder, msg, inflight_write):
-        if msg.non_transactional:
-            return ABORT
-        guard = self._common_guards(holder, msg, inflight_write)
-        restrictions_ok = (
-            guard is None
-            and not holder.levc_has_consumer  # single consumer per producer
-            and not holder.levc_has_consumed  # chain length <= 1
-            and not msg.req_produced  # requester must be a chain endpoint
-            and not msg.req_consumed
-        )
-        if restrictions_ok:
-            return PolicyOutcome(Resolution.FORWARD_SPEC, message_pic=None)
-        if msg.non_transactional:
-            return ABORT
-        if (
-            msg.timestamp is not None
-            and holder.timestamp is not None
-            and msg.timestamp < holder.timestamp
-        ):
-            # Older requester wins: the holder is the victim, regardless of
-            # any forwarding it has done (cascading aborts follow).
-            return ABORT
-        return PolicyOutcome(Resolution.NACK)
-
-
-def make_policy(htm: HTMConfig) -> ConflictPolicy:
-    """Instantiate the policy object for ``htm.system``."""
-    factories = {
-        SystemKind.BASELINE: BaselineRW,
-        SystemKind.NAIVE_RS: NaiveRS,
-        SystemKind.CHATS: CHATS,
-        SystemKind.POWER: Power,
-        SystemKind.PCHATS: PCHATS,
-        SystemKind.LEVC: LEVCBEIdealized,
-    }
-    return factories[htm.system](htm)
+__all__ = [
+    "ABORT",
+    "BaselineRW",
+    "CHATS",
+    "ConflictPolicy",
+    "LEVCBEIdealized",
+    "NaiveRS",
+    "PolicyOutcome",
+    "PowerPriority",
+    "RequesterSpeculates",
+    "RequesterStalls",
+    "RequesterWins",
+    "Resolution",
+    "make_policy",
+]

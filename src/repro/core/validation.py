@@ -102,18 +102,10 @@ class ValidationController:
                 self._emit_mismatch(tx, msg.block)
                 core.abort_tx(AbortReason.VALIDATION)
                 return
-            if core.htm.validation_pic_check:
-                if tx.pic.validation_check(msg.pic):
-                    core.abort_tx(AbortReason.CYCLE)
-                    return
-            else:
-                # Ablation: with the PiC check disabled, undetected cycles
-                # can only be broken by bounding fruitless validations.
-                tx.naive_budget -= 1
-                if tx.naive_budget <= 0:
-                    core.abort_tx(AbortReason.CYCLE)
-                    return
-            reason = core.policy.on_unsuccessful_validation(tx)
+            # The system's validation scheme judges the fruitless attempt
+            # (the generic PiC cycle check — or its budget-bounded
+            # ablation — plus any policy-specific escape counter).
+            reason = core.policy.check_unsuccessful_validation(tx, msg.pic)
             if reason is not None:
                 core.abort_tx(reason)
                 return

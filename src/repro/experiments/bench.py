@@ -60,6 +60,9 @@ class BenchCase:
     scale: float = 1.0
     #: Reduced scale used by ``--quick`` (CI smoke); still pinned.
     quick_scale: float = 0.25
+    #: Measured and reported but never gated: the case carries no entry
+    #: in ``benchmarks/perf/baseline.json`` (check_bench prints SKIP).
+    informational: bool = False
 
     def key(self, *, quick: bool = False) -> str:
         scale = self.quick_scale if quick else self.scale
@@ -75,6 +78,15 @@ BENCH_CASES = (
     BenchCase("synth", scale=4.0, quick_scale=1.0),
     BenchCase("intruder", scale=0.5, quick_scale=0.2),
     BenchCase("vacation", scale=0.5, quick_scale=0.2),
+    # Informational coverage of the registry-defined systems.
+    BenchCase(
+        "synth", system="stall", scale=2.0, quick_scale=0.5,
+        informational=True,
+    ),
+    BenchCase(
+        "synth", system="chats-ts", scale=2.0, quick_scale=0.5,
+        informational=True,
+    ),
 )
 
 
@@ -108,11 +120,12 @@ def peak_rss_kb() -> Optional[int]:
 
 def run_case(case: BenchCase, *, quick: bool = False, repeat: int = DEFAULT_REPEAT) -> Dict:
     """Measure one pinned case; returns its result record."""
-    from ..sim.config import SystemKind, table2_config
+    from ..sim.config import table2_config
     from ..sim.simulator import run_simulation
+    from ..systems.spec import get_spec
     from ..workloads.base import make_workload
 
-    kind = next(k for k in SystemKind if k.value == case.system)
+    kind = get_spec(case.system)
     scale = case.quick_scale if quick else case.scale
     runs: List[float] = []
     events = cycles = None

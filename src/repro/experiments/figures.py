@@ -13,7 +13,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis import metrics
 from ..analysis.tables import format_heatmap, format_stacked, format_table
-from ..sim.config import ForwardClass, SystemKind, table2_config
+from ..sim.config import ForwardClass, table2_config
+from ..systems import paper
+from ..systems.spec import SystemSpec
 from ..sim.results import SimulationResult
 from .registry import (
     ALL_SYSTEMS,
@@ -50,8 +52,8 @@ def _sweep(
     systems,
     *,
     htm_for=None,
-) -> Dict[SystemKind, Dict[str, SimulationResult]]:
-    out: Dict[SystemKind, Dict[str, SimulationResult]] = {}
+) -> Dict[SystemSpec, Dict[str, SimulationResult]]:
+    out: Dict[SystemSpec, Dict[str, SimulationResult]] = {}
     for system in systems:
         htm = htm_for(system) if htm_for is not None else None
         out[system] = {
@@ -61,7 +63,7 @@ def _sweep(
 
 
 def _baselines(workloads) -> Dict[str, SimulationResult]:
-    return {w: run_cached(w, SystemKind.BASELINE) for w in workloads}
+    return {w: run_cached(w, paper.BASELINE) for w in workloads}
 
 
 def _prefetch(figure_id: str, workloads, **params) -> None:
@@ -83,7 +85,7 @@ def fig1(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     workloads = workloads or exp.workloads
     _prefetch("fig1", workloads)
     base = _baselines(workloads)
-    naive = {w: run_cached(w, SystemKind.NAIVE_RS) for w in workloads}
+    naive = {w: run_cached(w, paper.NAIVE_RS) for w in workloads}
     series = {
         "Baseline": {w: 1.0 for w in workloads},
         "Naive R-S": metrics.normalized_times(naive, base),
@@ -105,14 +107,9 @@ def fig1(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Fig. 4 — execution time, all systems.
 # ----------------------------------------------------------------------
-_SYSTEM_LABELS = {
-    SystemKind.BASELINE: "Baseline",
-    SystemKind.NAIVE_RS: "Naive R-S",
-    SystemKind.CHATS: "CHATS",
-    SystemKind.POWER: "Power",
-    SystemKind.PCHATS: "PCHATS",
-    SystemKind.LEVC: "LEVC-BE-Id",
-}
+#: Display labels come straight from each spec (paper systems carry the
+#: Table II names the analysis layer expects).
+_SYSTEM_LABELS = {spec: spec.label for spec in ALL_SYSTEMS}
 
 
 def fig4(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
@@ -120,14 +117,14 @@ def fig4(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     workloads = workloads or exp.workloads
     _prefetch("fig4", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
-    base = runs[SystemKind.BASELINE]
+    base = runs[paper.BASELINE]
     series = {
         _SYSTEM_LABELS[s]: metrics.normalized_times(runs[s], base)
         for s in ALL_SYSTEMS
     }
     result = FigureResult("fig4", exp.title, series, extra={"runs": runs})
     footer = {}
-    for s in (SystemKind.CHATS, SystemKind.PCHATS):
+    for s in (paper.CHATS, paper.PCHATS):
         label = _SYSTEM_LABELS[s]
         footer[f"STAMP mean ({label})"] = (
             f"arith {result.mean(label):.3f} / "
@@ -150,7 +147,7 @@ def fig5(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     workloads = workloads or exp.workloads
     _prefetch("fig5", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
-    base = runs[SystemKind.BASELINE]
+    base = runs[paper.BASELINE]
     series = {
         _SYSTEM_LABELS[s]: metrics.normalized_aborts(runs[s], base)
         for s in ALL_SYSTEMS
@@ -168,7 +165,7 @@ def fig5(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     result = FigureResult(
         "fig5", exp.title, series, extra={"stacks": stacks, "runs": runs}
     )
-    chats_mean = result.mean(_SYSTEM_LABELS[SystemKind.CHATS])
+    chats_mean = result.mean(_SYSTEM_LABELS[paper.CHATS])
     rendering = [
         format_table(
             "Fig. 5 — Aborted transactions normalized to baseline",
@@ -252,7 +249,7 @@ def fig7(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     workloads = workloads or exp.workloads
     _prefetch("fig7", workloads)
     runs = _sweep(workloads, ALL_SYSTEMS)
-    base = runs[SystemKind.BASELINE]
+    base = runs[paper.BASELINE]
     series = {
         _SYSTEM_LABELS[s]: metrics.normalized_flits(runs[s], base)
         for s in ALL_SYSTEMS
@@ -430,7 +427,7 @@ def fig11(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
     workloads = workloads or exp.workloads
     _prefetch("fig11", workloads)
     base = _baselines(workloads)
-    systems = (SystemKind.CHATS, SystemKind.PCHATS, SystemKind.LEVC)
+    systems = (paper.CHATS, paper.PCHATS, paper.LEVC)
     runs = _sweep(workloads, systems)
     series = {
         _SYSTEM_LABELS[s]: metrics.normalized_times(runs[s], base)

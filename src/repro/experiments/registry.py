@@ -19,7 +19,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.metrics import EVALUATION_ORDER
-from ..sim.config import ForwardClass, SystemKind, table2_config
+from ..sim.config import ForwardClass, table2_config
+from ..systems import paper
+from ..systems.spec import SystemSpec
 from .runner import RunConfig
 
 
@@ -30,19 +32,19 @@ class Experiment:
     id: str
     title: str
     workloads: Tuple[str, ...]
-    systems: Tuple[SystemKind, ...]
+    systems: Tuple[SystemSpec, ...]
     bench: str
     parameters: str = ""
     expected_shape: str = ""
 
 
 ALL_SYSTEMS = (
-    SystemKind.BASELINE,
-    SystemKind.NAIVE_RS,
-    SystemKind.CHATS,
-    SystemKind.POWER,
-    SystemKind.PCHATS,
-    SystemKind.LEVC,
+    paper.BASELINE,
+    paper.NAIVE_RS,
+    paper.CHATS,
+    paper.POWER,
+    paper.PCHATS,
+    paper.LEVC,
 )
 
 #: Contention-sensitive subset used by the sensitivity figures (running the
@@ -74,7 +76,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             id="fig1",
             title="Naive requester-speculates vs best-effort baseline",
             workloads=EVALUATION_ORDER,
-            systems=(SystemKind.BASELINE, SystemKind.NAIVE_RS),
+            systems=(paper.BASELINE, paper.NAIVE_RS),
             bench="benchmarks/bench_fig01_naive_rs.py",
             expected_shape="naive R-S brings no benefit: >=1.0 on most "
             "workloads (cyclic dependencies are not managed)",
@@ -104,10 +106,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
             title="Conflicting and forwarding transactions by outcome",
             workloads=EVALUATION_ORDER,
             systems=(
-                SystemKind.NAIVE_RS,
-                SystemKind.CHATS,
-                SystemKind.PCHATS,
-                SystemKind.LEVC,
+                paper.NAIVE_RS,
+                paper.CHATS,
+                paper.PCHATS,
+                paper.LEVC,
             ),
             bench="benchmarks/bench_fig06_forwarding.py",
             expected_shape="under CHATS most *forwarder* transactions "
@@ -127,7 +129,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             id="fig8",
             title="Forwardable-block classes: R/W vs W vs Rrestrict/W",
             workloads=SENSITIVE_WORKLOADS,
-            systems=(SystemKind.CHATS, SystemKind.PCHATS),
+            systems=(paper.CHATS, paper.PCHATS),
             bench="benchmarks/bench_fig08_forward_blocks.py",
             parameters="forward_class in {RW, W, R_RESTRICT_W}",
             expected_shape="Rrestrict/W (the in-flight-GETX heuristic) "
@@ -138,10 +140,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
             title="Retry threshold before the fallback path",
             workloads=SENSITIVE_WORKLOADS,
             systems=(
-                SystemKind.BASELINE,
-                SystemKind.CHATS,
-                SystemKind.POWER,
-                SystemKind.PCHATS,
+                paper.BASELINE,
+                paper.CHATS,
+                paper.POWER,
+                paper.PCHATS,
             ),
             bench="benchmarks/bench_fig09_retries.py",
             parameters="retries in {1, 2, 6, 16, 32, 64}",
@@ -152,7 +154,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             id="fig10",
             title="VSB size x validation interval sensitivity",
             workloads=("kmeans-h", "genome", "llb-h"),
-            systems=(SystemKind.CHATS, SystemKind.PCHATS),
+            systems=(paper.CHATS, paper.PCHATS),
             bench="benchmarks/bench_fig10_vsb_sweep.py",
             parameters="vsb_size in {1, 2, 4, 8}; interval in {25, 50, "
             "100, 200}",
@@ -163,7 +165,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             id="fig11",
             title="CHATS and PCHATS vs LEVC-BE-Idealized",
             workloads=EVALUATION_ORDER,
-            systems=(SystemKind.CHATS, SystemKind.PCHATS, SystemKind.LEVC),
+            systems=(paper.CHATS, paper.PCHATS, paper.LEVC),
             bench="benchmarks/bench_fig11_levc.py",
             expected_shape="CHATS beats LEVC on kmeans-h; LEVC beats "
             "CHATS on yada (stalling helps its long transactions); "
@@ -263,7 +265,7 @@ def _fig10_configs(
 
 def _fig11_configs(exp, workloads) -> List[RunConfig]:
     return _sweep_configs(
-        workloads, (SystemKind.BASELINE,) + tuple(exp.systems)
+        workloads, (paper.BASELINE,) + tuple(exp.systems)
     )
 
 

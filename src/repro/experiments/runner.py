@@ -47,7 +47,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..sim.config import HTMConfig, SystemKind, table2_config
+from ..sim.config import HTMConfig, table2_config
+from ..systems.spec import SystemSpec, get_spec
 from ..sim.results import SimulationResult
 from ..sim.simulator import run_simulation
 from ..workloads.base import make_workload
@@ -87,7 +88,7 @@ class RunConfig:
     """Everything that determines one simulation's outcome."""
 
     workload: str
-    system: SystemKind
+    system: SystemSpec
     htm: HTMConfig
     threads: int
     seed: int
@@ -102,7 +103,7 @@ class RunConfig:
     def make(
         cls,
         workload: str,
-        system: SystemKind,
+        system: "SystemSpec | str",
         *,
         htm: Optional[HTMConfig] = None,
         threads: Optional[int] = None,
@@ -111,7 +112,11 @@ class RunConfig:
         max_events: int = DEFAULT_MAX_EVENTS,
         metrics_window: Optional[int] = None,
     ) -> "RunConfig":
-        """Build a config, filling unset fields from the bench defaults."""
+        """Build a config, filling unset fields from the bench defaults.
+
+        ``system`` accepts a registered name or a :class:`SystemSpec`.
+        """
+        system = get_spec(system)
         return cls(
             workload=workload,
             system=system,
@@ -428,7 +433,7 @@ def run_config(cfg: RunConfig, *, use_cache: bool = True) -> SimulationResult:
 
 def run_cached(
     workload: str,
-    system: SystemKind,
+    system: "SystemSpec | str",
     *,
     htm: Optional[HTMConfig] = None,
     threads: Optional[int] = None,

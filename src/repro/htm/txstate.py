@@ -70,7 +70,9 @@ class TxState:
         #: maintained at the (rare) status transitions.
         self.active = True
         self.power = power
-        #: LEVC ideal timestamp (kept across retries by the core driver).
+        #: Ideal begin timestamp (kept across retries by the core driver);
+        #: ``None`` unless the spec's ordering layer ranks transactions by
+        #: age (``spec.uses_timestamps``).
         self.timestamp = timestamp
 
         if machinery is not None:
@@ -99,6 +101,8 @@ class TxState:
             self.write_set = set()
             self.store = SpeculativeStore(memory)
             self.pic = PiCRegister(limit=htm.pic_limit, init=htm.pic_init)
+            # Spec hook: only specs whose conflict layer speculates get a
+            # real VSB; others carry a 1-slot stub (never filled).
             self.vsb = (
                 ValidationStateBuffer(htm.vsb_size)
                 if htm.system.forwards and htm.vsb_size

@@ -139,9 +139,10 @@ class L1Controller:
         self._probe = probe if probe is not None else Probe()
         self.cache = L1Cache(config)
         self._outstanding: Dict[int, _Outstanding] = {}
-        # Hot-path constants/bound methods: the system's forwarding flag,
-        # the address→block map, the L1 hit latency, the network injector
-        # and the engine scheduler are all invariant after construction.
+        # Hot-path constants/bound methods: the spec's forwarding hook
+        # (derived from its conflict layer), the address→block map, the
+        # L1 hit latency, the network injector and the engine scheduler
+        # are all invariant after construction.
         self._forwards = htm.system.forwards
         self._block_of = geometry.block_of
         self._hit_latency = config.l1_hit_latency

@@ -14,7 +14,7 @@ nothing else.
 
 Example::
 
-    sim = Simulator(workload, htm=table2_config(SystemKind.CHATS))
+    sim = Simulator(workload, htm=table2_config("chats"))
     with Tracer(sim, blocks={geometry.block_of(HOT)}) as trace:
         sim.run()
     for event in trace.events:

@@ -4,55 +4,33 @@
 ``HTMConfig`` mirrors Table II (the per-system HTM parameters).  Both are
 plain frozen dataclasses so that experiment definitions can be hashed and
 cached by the experiment runner.
+
+The HTM system itself is a :class:`~repro.systems.spec.SystemSpec` from
+the composable system registry (:mod:`repro.systems`); this module
+re-exports the registry's compatibility surface (``SystemKind``,
+``ForwardClass``, ``all_system_kinds``) under its historical import path.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from enum import Enum
-from typing import Optional
+from typing import Optional, Union
 
+from ..systems.compat import SystemKind, all_system_kinds
+from ..systems.spec import ForwardClass, SystemSpec, get_spec
+from ..systems import paper as _paper
 
-class ForwardClass(Enum):
-    """Which blocks are eligible for speculative forwarding (Section VI-D).
-
-    * ``RW`` — *Forward all*: read-set and write-set blocks.
-    * ``W`` — *Forward written*: write-set blocks only.
-    * ``R_RESTRICT_W`` — read and write-set blocks, but a heuristic refuses
-      to forward blocks with an in-flight local write (the paper's best
-      configuration, used by CHATS and PCHATS in the main evaluation).
-    """
-
-    RW = "R/W"
-    W = "W"
-    R_RESTRICT_W = "Rrestrict/W"
-
-
-class SystemKind(Enum):
-    """The six HTM systems evaluated in the paper (Section VI-B)."""
-
-    BASELINE = "baseline"
-    NAIVE_RS = "naive-rs"
-    CHATS = "chats"
-    POWER = "power"
-    PCHATS = "pchats"
-    LEVC = "levc-be-idealized"
-
-    @property
-    def forwards(self) -> bool:
-        """Whether this system ever sends speculative responses."""
-        return self in (
-            SystemKind.NAIVE_RS,
-            SystemKind.CHATS,
-            SystemKind.PCHATS,
-            SystemKind.LEVC,
-        )
-
-    @property
-    def powered(self) -> bool:
-        """Whether this system uses the PowerTM elevated-priority token."""
-        return self in (SystemKind.POWER, SystemKind.PCHATS)
+__all__ = [
+    "ForwardClass",
+    "HTMConfig",
+    "NOT_APPLICABLE",
+    "SystemConfig",
+    "SystemKind",
+    "SystemSpec",
+    "all_system_kinds",
+    "table2_config",
+]
 
 
 @dataclass(frozen=True)
@@ -137,7 +115,7 @@ class HTMConfig:
     naive requester-speculates escape counter (4 bits → 16 attempts).
     """
 
-    system: SystemKind = SystemKind.BASELINE
+    system: SystemSpec = _paper.BASELINE
     retries: int = 6
     forward_class: ForwardClass | None = None
     vsb_size: int | None = None
@@ -193,56 +171,18 @@ class HTMConfig:
         return dataclasses.replace(self, **changes)
 
 
-def table2_config(system: SystemKind) -> HTMConfig:
-    """Return the optimal Table II configuration for ``system``.
+def table2_config(system: Union[SystemSpec, str]) -> HTMConfig:
+    """Return the Table II configuration recorded in ``system``'s spec.
 
-    These are the paper's best cost-effective values: Baseline retries=6;
-    Naive R-S retries=2, VSB=4, 50-cycle validation; CHATS retries=32,
-    VSB=4, 50-cycle validation; Power retries=2; PCHATS retries=1;
-    LEVC-BE-Idealized retries=64 with a 0-cycle validation interval.
+    Accepts a :class:`~repro.systems.spec.SystemSpec` or a registered
+    system name; every registered system — paper or user-added — carries
+    its own best cost-effective parameters, so this works for all of them.
     """
-    table = {
-        SystemKind.BASELINE: HTMConfig(system=SystemKind.BASELINE, retries=6),
-        SystemKind.NAIVE_RS: HTMConfig(
-            system=SystemKind.NAIVE_RS,
-            retries=2,
-            forward_class=ForwardClass.R_RESTRICT_W,
-            vsb_size=4,
-            validation_interval=50,
-        ),
-        SystemKind.CHATS: HTMConfig(
-            system=SystemKind.CHATS,
-            retries=32,
-            forward_class=ForwardClass.R_RESTRICT_W,
-            vsb_size=4,
-            validation_interval=50,
-        ),
-        SystemKind.POWER: HTMConfig(system=SystemKind.POWER, retries=2),
-        SystemKind.PCHATS: HTMConfig(
-            system=SystemKind.PCHATS,
-            retries=1,
-            forward_class=ForwardClass.R_RESTRICT_W,
-            vsb_size=4,
-            validation_interval=50,
-        ),
-        SystemKind.LEVC: HTMConfig(
-            system=SystemKind.LEVC,
-            retries=64,
-            forward_class=ForwardClass.R_RESTRICT_W,
-            vsb_size=4,
-            validation_interval=0,
-        ),
-    }
-    return table[system]
-
-
-def all_system_kinds() -> tuple[SystemKind, ...]:
-    """The six systems in the paper's presentation order."""
-    return (
-        SystemKind.BASELINE,
-        SystemKind.NAIVE_RS,
-        SystemKind.CHATS,
-        SystemKind.POWER,
-        SystemKind.PCHATS,
-        SystemKind.LEVC,
+    spec = get_spec(system)
+    return HTMConfig(
+        system=spec,
+        retries=spec.retries,
+        forward_class=spec.forward_class,
+        vsb_size=spec.vsb_size,
+        validation_interval=spec.validation_interval,
     )

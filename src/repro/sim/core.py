@@ -70,6 +70,11 @@ class Core:
         self._attempts = 0
         self._power = False
         self._power_attempts = 0
+        # Spec hooks resolved once: whether this system's ordering layer
+        # needs ideal begin timestamps, and whether its fallback path is
+        # the power token or the global lock.
+        self._uses_timestamps = self.htm.system.uses_timestamps
+        self._powered = self.htm.system.powered
         self._levc_timestamp: Optional[int] = None
         self._in_fallback = False
         # Cycle at which the current attempt entered the commit fence
@@ -124,7 +129,11 @@ class Core:
         self._power_attempts = 0
         self._in_fallback = False
         self._write_history = set()
-        self._levc_timestamp = self.sim.next_timestamp()
+        # Chain-state allocation is spec-driven: only orderings that rank
+        # transactions by age draw a timestamp (kept across retries).
+        self._levc_timestamp = (
+            self.sim.next_timestamp() if self._uses_timestamps else None
+        )
         self._begin_attempt()
 
     def _begin_attempt(self) -> None:
@@ -362,7 +371,7 @@ class Core:
     # Fallback paths.
     # ------------------------------------------------------------------
     def _enter_fallback(self) -> None:
-        if self.htm.system.powered:
+        if self._powered:
             self.sim.power.request(self.core_id, self._power_granted)
         else:
             self._acquire_global_lock()

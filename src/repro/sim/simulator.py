@@ -16,7 +16,8 @@ from ..net.messages import Message
 from ..net.network import Crossbar
 from ..obs.interval import IntervalMetrics
 from ..obs.probe import Probe
-from .config import HTMConfig, SystemConfig, SystemKind, table2_config
+from ..systems.spec import SystemSpec
+from .config import HTMConfig, SystemConfig, table2_config
 from .core import Core
 from .engine import Engine
 from .results import SimulationResult
@@ -36,7 +37,7 @@ class Simulator:
         config: Optional[SystemConfig] = None,
     ):
         self.workload = workload
-        self.htm = htm if htm is not None else table2_config(SystemKind.BASELINE)
+        self.htm = htm if htm is not None else table2_config("baseline")
         self.config = config if config is not None else SystemConfig()
         if workload.num_threads > self.config.num_cores:
             raise ValueError(
@@ -103,7 +104,8 @@ class Simulator:
         msg.release()
 
     def next_timestamp(self) -> int:
-        """Ideal, never-rolling-over LEVC timestamps (Section VI-B)."""
+        """Ideal, never-rolling-over begin timestamps (Section VI-B) —
+        drawn only by systems whose spec orders transactions by age."""
         return next(self._timestamps)
 
     def core_finished(self, core_id: int) -> None:
@@ -164,7 +166,7 @@ class Simulator:
 
 def run_simulation(
     workload,
-    system: SystemKind = SystemKind.BASELINE,
+    system: SystemSpec | str = "baseline",
     *,
     htm: Optional[HTMConfig] = None,
     config: Optional[SystemConfig] = None,

@@ -10,7 +10,7 @@ was replaced by explicit emit points feeding
 
 Example::
 
-    sim = Simulator(workload, htm=table2_config(SystemKind.CHATS))
+    sim = Simulator(workload, htm=table2_config("chats"))
     with Tracer(sim, blocks={geometry.block_of(HOT)}) as trace:
         sim.run()
     for event in trace.events:

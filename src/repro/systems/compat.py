@@ -1,0 +1,52 @@
+"""``SystemKind`` — enum-shaped compatibility facade over the registry.
+
+The closed ``SystemKind`` enum is gone; systems live in the string-keyed
+registry (:mod:`repro.systems.spec`).  This shim keeps the old spelling
+working for existing code and tests:
+
+* ``SystemKind.CHATS`` — attribute access yields the registered
+  :class:`~repro.systems.spec.SystemSpec` singleton (identity-stable, so
+  ``is`` comparisons and dict keys behave like enum members);
+* ``for kind in SystemKind`` — iterates the paper's six systems in
+  presentation order;
+* ``SystemKind("chats")`` — name lookup through the registry, raising the
+  registry's helpful unknown-name error.
+
+New code should use :func:`repro.systems.get_spec` and friends directly.
+"""
+
+from __future__ import annotations
+
+from . import paper
+from .spec import SystemSpec, get_spec, paper_systems
+
+
+class _SystemKindMeta(type):
+    def __iter__(cls):
+        return iter(paper_systems())
+
+    def __len__(cls) -> int:
+        return len(paper_systems())
+
+    def __contains__(cls, item) -> bool:
+        return isinstance(item, SystemSpec) and item in paper_systems()
+
+    def __call__(cls, value):  # SystemKind("chats") — enum-style lookup
+        return get_spec(value)
+
+
+class SystemKind(metaclass=_SystemKindMeta):
+    """The paper's six systems, as registry singletons (compat shim)."""
+
+    BASELINE = paper.BASELINE
+    NAIVE_RS = paper.NAIVE_RS
+    CHATS = paper.CHATS
+    POWER = paper.POWER
+    PCHATS = paper.PCHATS
+    LEVC = paper.LEVC
+
+
+def all_system_kinds() -> tuple:
+    """The six paper systems in the paper's presentation order (compat
+    alias of :func:`repro.systems.paper_systems`)."""
+    return paper_systems()

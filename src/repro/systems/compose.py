@@ -1,0 +1,56 @@
+"""Compose a runnable :class:`ConflictPolicy` from a system spec.
+
+``make_policy`` is the single construction point for every system, paper
+or user-registered: it reads the four layer names off
+``htm.system`` (a :class:`~repro.systems.spec.SystemSpec`) and assembles
+the matching components.  There is deliberately no per-system dispatch
+table to extend — registering a new :class:`SystemSpec` is sufficient for
+the simulator to run it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import ConflictPolicy
+from .conflict import (
+    BaselineRW,
+    LEVCBEIdealized,
+    RequesterSpeculates,
+    RequesterStalls,
+)
+from .ordering import OrderingScheme, PicOrdering, TimestampOrdering
+from .priority import PowerPriority
+from .validation import make_validation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.config import HTMConfig
+
+_ORDERINGS = {
+    "none": OrderingScheme,
+    "pic": PicOrdering,
+    "ideal-timestamp": TimestampOrdering,
+}
+
+
+def make_policy(htm: "HTMConfig") -> ConflictPolicy:
+    """Instantiate the composed policy object for ``htm.system``."""
+    spec = htm.system
+    if spec.conflict == "requester-wins":
+        base: ConflictPolicy = BaselineRW(htm)
+    elif spec.conflict == "requester-stalls":
+        base = RequesterStalls(
+            htm, wound_wait=spec.ordering == "ideal-timestamp"
+        )
+    elif spec.ordering == "levc-flags":
+        # LEVC's endpoint-flag ordering carries its own stall fallback.
+        base = LEVCBEIdealized(htm)
+    else:
+        base = RequesterSpeculates(
+            htm,
+            _ORDERINGS[spec.ordering](htm),
+            make_validation(spec.validation, htm),
+        )
+    if spec.priority == "power":
+        return PowerPriority(htm, base)
+    return base

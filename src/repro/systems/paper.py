@@ -1,0 +1,94 @@
+"""Registry entries for the paper's six evaluated systems (Section VI-B).
+
+Each entry records the system's layer composition and its best
+cost-effective Table II parameters: Baseline retries=6; Naive R-S
+retries=2, VSB=4, 50-cycle validation; CHATS retries=32, VSB=4, 50-cycle
+validation; Power retries=2; PCHATS retries=1; LEVC-BE-Idealized
+retries=64 with a 0-cycle validation interval.
+"""
+
+from __future__ import annotations
+
+from .spec import ForwardClass, SystemSpec, register
+
+BASELINE = register(
+    SystemSpec(
+        name="baseline",
+        label="Baseline",
+        conflict="requester-wins",
+        retries=6,
+    ),
+    paper=True,
+)
+
+NAIVE_RS = register(
+    SystemSpec(
+        name="naive-rs",
+        label="Naive R-S",
+        conflict="requester-speculates",
+        ordering="none",
+        validation="naive-budget",
+        retries=2,
+        forward_class=ForwardClass.R_RESTRICT_W,
+        vsb_size=4,
+        validation_interval=50,
+    ),
+    paper=True,
+)
+
+CHATS = register(
+    SystemSpec(
+        name="chats",
+        label="CHATS",
+        conflict="requester-speculates",
+        ordering="pic",
+        validation="pic-check",
+        retries=32,
+        forward_class=ForwardClass.R_RESTRICT_W,
+        vsb_size=4,
+        validation_interval=50,
+    ),
+    paper=True,
+)
+
+POWER = register(
+    SystemSpec(
+        name="power",
+        label="Power",
+        conflict="requester-wins",
+        priority="power",
+        retries=2,
+    ),
+    paper=True,
+)
+
+PCHATS = register(
+    SystemSpec(
+        name="pchats",
+        label="PCHATS",
+        conflict="requester-speculates",
+        ordering="pic",
+        priority="power",
+        validation="pic-check",
+        retries=1,
+        forward_class=ForwardClass.R_RESTRICT_W,
+        vsb_size=4,
+        validation_interval=50,
+    ),
+    paper=True,
+)
+
+LEVC = register(
+    SystemSpec(
+        name="levc-be-idealized",
+        label="LEVC-BE-Id",
+        conflict="requester-speculates",
+        ordering="levc-flags",
+        validation="interval",
+        retries=64,
+        forward_class=ForwardClass.R_RESTRICT_W,
+        vsb_size=4,
+        validation_interval=0,
+    ),
+    paper=True,
+)
