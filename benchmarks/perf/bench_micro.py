@@ -96,12 +96,32 @@ def bench_spec_store(n):
         read(addr)
 
 
+def bench_probe_emit(n):
+    """Construct + emit typed events to one subscriber (the traced path).
+
+    Exercises the copy-on-write subscriber snapshot: emit must iterate
+    the stored tuple directly, without a per-event allocation."""
+    from repro.obs.events import Commit
+    from repro.obs.probe import Probe
+
+    probe = Probe()
+
+    def sink(ev):
+        pass
+
+    probe.subscribe(sink)
+    emit = probe.emit
+    for i in range(n):
+        emit(Commit(cycle=i, core=0, epoch=i))
+
+
 BENCHES = (
     ("engine run loop (delay-1 chain)", bench_engine_throughput, 200_000),
     ("engine schedule+cancel churn", bench_engine_schedule_cancel, 200_000),
     ("message pool construct+release", bench_message_pool, 200_000),
     ("L1 cache hit lookup", bench_cache_hit, 500_000),
     ("speculative store write+read", bench_spec_store, 200_000),
+    ("probe emit (one subscriber)", bench_probe_emit, 200_000),
 )
 
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate a forensics JSON document from ``repro inspect --json``.
+
+Checks the ``repro-forensics/1`` schema structurally:
+
+* every top-level key present with the right type;
+* the attribution block internally consistent — breakdown keys drawn
+  from :data:`repro.obs.CAUSE_KINDS`, counts summing to the abort total,
+  ``attributed`` matching the non-``unattributed`` count, every per-abort
+  record carrying a known cause kind;
+* wasted-work buckets complete per core, per-core sums equal to
+  ``total_cycles`` times active cores' bucket totals, and the grand
+  totals consistent with the per-core rows;
+* an empty ``gauge_mismatches`` — the ledger's cycle accounting must
+  agree with the simulator's gauges or the report is not trustworthy.
+
+``--min-attributed F`` additionally enforces an attribution floor
+(CI runs with 0.95 on the contended smoke workload).
+
+Exit status 0 iff the document is valid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.forensics import FORENSICS_SCHEMA  # noqa: E402
+from repro.obs import CAUSE_KINDS  # noqa: E402
+from repro.obs.ledger import WASTED_WORK_BUCKETS  # noqa: E402
+
+_TOP_KEYS = {
+    "schema": str,
+    "workload": str,
+    "system": str,
+    "threads": int,
+    "seed": int,
+    "scale": (int, float),
+    "cycles": int,
+    "commits": int,
+    "fallback_commits": int,
+    "aborts": int,
+    "attempts": int,
+    "forwards": int,
+    "attribution": dict,
+    "wasted_work": dict,
+    "gauge_mismatches": dict,
+}
+
+
+def fail(msg: str) -> int:
+    print(f"INVALID FORENSICS: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(doc: dict, *, min_attributed: float | None) -> int:
+    for key, want in _TOP_KEYS.items():
+        if key not in doc:
+            return fail(f"missing top-level key {key!r}")
+        if not isinstance(doc[key], want):
+            return fail(f"{key} is {type(doc[key]).__name__}, want {want}")
+    if doc["schema"] != FORENSICS_SCHEMA:
+        return fail(f"schema {doc['schema']!r} != {FORENSICS_SCHEMA!r}")
+
+    att = doc["attribution"]
+    for key in ("total_aborts", "attributed", "attributed_fraction",
+                "breakdown", "cascades", "chains", "aborts"):
+        if key not in att:
+            return fail(f"attribution missing {key!r}")
+    if att["total_aborts"] != doc["aborts"]:
+        return fail(
+            f"attribution.total_aborts {att['total_aborts']} != "
+            f"aborts {doc['aborts']}"
+        )
+    breakdown = att["breakdown"]
+    unknown = set(breakdown) - set(CAUSE_KINDS)
+    if unknown:
+        return fail(f"unknown cause kinds in breakdown: {sorted(unknown)}")
+    if sum(breakdown.values()) != att["total_aborts"]:
+        return fail("breakdown counts do not sum to total_aborts")
+    attributed = sum(
+        n for kind, n in breakdown.items() if kind != "unattributed"
+    )
+    if attributed != att["attributed"]:
+        return fail(
+            f"attributed {att['attributed']} != non-unattributed "
+            f"breakdown sum {attributed}"
+        )
+    for i, rec in enumerate(att["aborts"]):
+        if rec.get("kind") not in CAUSE_KINDS:
+            return fail(f"abort record {i}: unknown kind {rec.get('kind')!r}")
+        for key in ("core", "epoch", "cycle"):
+            if not isinstance(rec.get(key), int):
+                return fail(f"abort record {i}: bad {key} {rec.get(key)!r}")
+    for i, cascade in enumerate(att["cascades"]):
+        if cascade.get("size") != len(cascade.get("members", [])):
+            return fail(f"cascade {i}: size != len(members)")
+
+    wasted = doc["wasted_work"]
+    for key in ("total_cycles", "per_core", "totals"):
+        if key not in wasted:
+            return fail(f"wasted_work missing {key!r}")
+    totals = {bucket: 0 for bucket in WASTED_WORK_BUCKETS}
+    for core, buckets in wasted["per_core"].items():
+        if set(buckets) != set(WASTED_WORK_BUCKETS):
+            return fail(
+                f"core {core}: buckets {sorted(buckets)} != "
+                f"{sorted(WASTED_WORK_BUCKETS)}"
+            )
+        if sum(buckets.values()) < wasted["total_cycles"]:
+            return fail(
+                f"core {core}: buckets sum below total_cycles "
+                f"(stalled under-counted)"
+            )
+        for bucket, n in buckets.items():
+            if not isinstance(n, int) or n < 0:
+                return fail(f"core {core}: bad {bucket} {n!r}")
+            totals[bucket] += n
+    if totals != wasted["totals"]:
+        return fail(
+            f"wasted_work.totals {wasted['totals']} != per-core sum {totals}"
+        )
+
+    if doc["gauge_mismatches"]:
+        return fail(
+            "ledger/gauge cycle accounting disagrees: "
+            f"{doc['gauge_mismatches']}"
+        )
+
+    if min_attributed is not None:
+        frac = att["attributed_fraction"]
+        if frac < min_attributed:
+            return fail(
+                f"attributed fraction {frac:.3f} below floor "
+                f"{min_attributed:.3f}"
+            )
+
+    print(
+        f"OK: {doc['workload']}/{doc['system']} — {doc['aborts']} aborts, "
+        f"{att['attributed_fraction']:.1%} attributed, "
+        f"{len(att['cascades'])} cascade(s)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="forensics JSON to validate")
+    parser.add_argument(
+        "--min-attributed",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fail unless attributed_fraction >= F (e.g. 0.95)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(Path(args.report).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot read {args.report}: {exc}")
+    if not isinstance(doc, dict):
+        return fail("document is not a JSON object")
+    return check(doc, min_attributed=args.min_attributed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

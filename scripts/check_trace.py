@@ -3,9 +3,14 @@
 
 JSONL traces are checked line by line: every line must parse as a JSON
 object whose ``kind`` names a registered probe event type, carrying the
-fields that event declares (extra/missing keys fail), with a
+fields that event declares (extra/missing keys fail) with the declared
+types (an int where the event declares ``str`` fails — and a bool where
+it declares ``int``: JSON ``true`` is not a cycle count), plus a
 non-negative integer ``cycle`` that never decreases across the file
-(the bus is the engine's event order).
+(the bus is the engine's event order).  The field/type tables are built
+from :data:`repro.obs.EVENT_TYPES` itself, so a new event kind (the
+forensics layer grows them) is validated the moment it is registered —
+it cannot drift from the exporter.
 
 Chrome traces (``--format chrome``) are checked structurally: a single
 JSON object with a ``traceEvents`` list, B/E slices balanced per track,
@@ -26,6 +31,44 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.obs import EVENT_TYPES  # noqa: E402
 
 
+def _field_types() -> dict:
+    """Per-kind ``field -> python type`` tables from the event classes.
+
+    ``Optional[T]`` unwraps to ``T`` (presence is governed by the
+    optional-field rule; when present, the value must be a ``T``).
+    """
+    import dataclasses
+    import typing
+
+    tables: dict = {}
+    for kind, cls in EVENT_TYPES.items():
+        hints = typing.get_type_hints(cls)
+        table = {}
+        for f in dataclasses.fields(cls):
+            hint = hints[f.name]
+            if typing.get_origin(hint) is typing.Union:
+                inner = [
+                    a for a in typing.get_args(hint) if a is not type(None)
+                ]
+                hint = inner[0] if len(inner) == 1 else object
+            table[f.name] = hint
+        tables[kind] = table
+    return tables
+
+
+def _type_ok(value, expected: type) -> bool:
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is int:
+        # bool subclasses int; JSON true is not a core id or a cycle.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is object:
+        return True
+    return isinstance(value, expected)
+
+
 def check_jsonl(path: str) -> int:
     import dataclasses
 
@@ -41,6 +84,7 @@ def check_jsonl(path: str) -> int:
         }
         for kind, cls in EVENT_TYPES.items()
     }
+    types = _field_types()
     count = 0
     last_cycle = 0
     with open(path, "r", encoding="utf-8") as fh:
@@ -64,6 +108,13 @@ def check_jsonl(path: str) -> int:
                     f"line {lineno}: {kind} fields {sorted(have)} != "
                     f"declared {sorted(want)}"
                 )
+            for name in have:
+                expected = types[kind][name]
+                if not _type_ok(record[name], expected):
+                    return fail(
+                        f"line {lineno}: {kind}.{name} = {record[name]!r} "
+                        f"is not a {expected.__name__}"
+                    )
             cycle = record.get("cycle")
             if not isinstance(cycle, int) or cycle < 0:
                 return fail(f"line {lineno}: bad cycle {cycle!r}")

@@ -26,6 +26,18 @@ Subcommands:
       python -m repro bench
       python -m repro bench --quick synth
 
+* ``inspect`` — run one workload with the transaction ledger attached and
+  print the forensic report (causal abort attribution, abort cascades,
+  chain stats, wasted-work buckets); ``--json``/``--html`` export it::
+
+      python -m repro inspect counter --system chats --scale 0.1
+      python -m repro inspect synth --json forensics.json
+
+* ``compare`` — A/B two systems on the same workload/seed and print the
+  per-cause abort and wasted-work deltas::
+
+      python -m repro compare chats htm-be --workload cadd
+
 * ``list`` — list registered workloads, systems, and experiments.
 
 ``run`` also accepts ``--trace FILE`` / ``--trace-format {jsonl,chrome}``
@@ -197,7 +209,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         for system in systems
     ]
-    results = runner.run_many(configs, progress=_progress_printer)
+    results = runner.run_many(
+        configs, progress=_progress_printer, forensics=args.forensics
+    )
     baseline_cycles = None
     for system, result in zip(systems, results):
         if len(systems) > 1:
@@ -214,12 +228,88 @@ def cmd_run(args: argparse.Namespace) -> int:
     for result in results:
         if result.intervals is not None:
             _print_timeline(result)
+    if args.forensics:
+        _print_manifest_forensics(configs)
     return 0
+
+
+def _print_manifest_forensics(configs) -> None:
+    """Digest lines for a ``--forensics`` batch (from the manifest)."""
+    manifest = runner.last_manifest()
+    if manifest is None:
+        return
+    print("\nforensic digests :")
+    for cfg in configs:
+        entry = manifest.entry_for(cfg)
+        if entry is None or entry.forensics is None:
+            print(
+                f"  {cfg.describe()}: (cached result — no event stream; "
+                "re-run with --no-cache or use `repro inspect`)"
+            )
+            continue
+        d = entry.forensics
+        breakdown = ", ".join(
+            f"{k}={v}" for k, v in d["breakdown"].items()
+        ) or "none"
+        print(
+            f"  {cfg.workload}/{cfg.system.value}: "
+            f"aborts={d['aborts']} "
+            f"attributed={d['attributed_fraction']:.1%} "
+            f"[{breakdown}] cascades={d['cascades']} "
+            f"max_chain_depth={d['max_chain_depth']}"
+        )
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     _apply_runner_flags(args)
     return _traced_run(args, args.out, args.format, chains=args.chains)
+
+
+def _collect(args: argparse.Namespace, system: str):
+    from .analysis.forensics import collect_forensics
+
+    spec = _system_from_name(system)
+    return collect_forensics(
+        args.workload,
+        spec,
+        threads=args.threads,
+        seed=args.seed,
+        scale=args.scale,
+    )
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    report = _collect(args, args.system)
+    print(report.render())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\njson             : {args.json}")
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(report.to_html())
+        print(f"html             : {args.html}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.forensics import compare_reports, render_compare
+
+    report_a = _collect(args, args.system_a)
+    report_b = _collect(args, args.system_b)
+    print(render_compare(report_a, report_b))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                compare_reports(report_a, report_b),
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"\njson             : {args.json}")
+    return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -237,7 +327,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     union = [
         cfg for fid in sorted(FIGURES) for cfg in experiment_configs(fid)
     ]
-    runner.run_many(union, progress=_progress_printer)
+    runner.run_many(
+        union, progress=_progress_printer, forensics=args.forensics
+    )
     sweep_manifest = runner.last_manifest()
     for fid in sorted(FIGURES):
         result = run_figure(fid)
@@ -253,6 +345,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     if sweep_manifest is not None and sweep_manifest.entries:
         print(f"[runner] sweep: {sweep_manifest.summary()}", file=sys.stderr)
+    if args.forensics:
+        _print_manifest_forensics(union)
     return 0
 
 
@@ -282,6 +376,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    from .systems import system_aliases
+
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
@@ -289,6 +385,11 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for spec in registered_systems():
         print(f"  {spec.name:<18s} {spec.describe_layers()}")
         print(f"  {'':<18s} {spec.describe_table2()}")
+    aliases = system_aliases()
+    if aliases:
+        print("system aliases:")
+        for alias, target in sorted(aliases.items()):
+            print(f"  {alias:<18s} -> {target}")
     print("experiments:")
     for exp_id, exp in sorted(EXPERIMENTS.items()):
         print(f"  {exp_id:<8s} {exp.title}  [{exp.bench}]")
@@ -363,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect interval metrics in CYCLES-wide windows and print "
         "an activity timeline table",
     )
+    p_run.add_argument(
+        "--forensics",
+        action="store_true",
+        help="attach a transaction ledger to each executed simulation and "
+        "print per-run forensic digests (cache hits carry none)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_trace = sub.add_parser(
@@ -402,6 +509,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print an activity timeline with CYCLES-wide windows",
     )
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_insp = sub.add_parser(
+        "inspect",
+        help="forensic report for one run: causal abort attribution, "
+        "cascades, chains, wasted work",
+    )
+    p_insp.add_argument("workload", choices=workload_names())
+    p_insp.add_argument(
+        "--system", default="chats", help="HTM system (default: chats)"
+    )
+    p_insp.add_argument("--threads", type=int, default=16)
+    p_insp.add_argument("--seed", type=int, default=1)
+    p_insp.add_argument("--scale", type=float, default=0.4)
+    p_insp.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the full report as JSON "
+        "(validate with scripts/check_inspect.py)",
+    )
+    p_insp.add_argument(
+        "--html",
+        default=None,
+        metavar="FILE",
+        help="also write a self-contained HTML report",
+    )
+    p_insp.set_defaults(fn=cmd_inspect)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="A/B two systems on the same workload/seed with per-cause "
+        "abort and wasted-work deltas",
+    )
+    p_cmp.add_argument("system_a", metavar="SYSTEM_A")
+    p_cmp.add_argument("system_b", metavar="SYSTEM_B")
+    p_cmp.add_argument(
+        "--workload",
+        default="cadd",
+        choices=workload_names(),
+        help="workload to compare on (default: cadd, the contended "
+        "chained-counter microbenchmark where forwarding pays off)",
+    )
+    p_cmp.add_argument("--threads", type=int, default=16)
+    p_cmp.add_argument("--seed", type=int, default=1)
+    p_cmp.add_argument("--scale", type=float, default=0.4)
+    p_cmp.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the comparison as JSON",
+    )
+    p_cmp.set_defaults(fn=cmd_compare)
 
     p_fig = sub.add_parser(
         "figure", help="regenerate a paper figure", parents=[cache_flags]
@@ -456,6 +615,12 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[cache_flags],
     )
     p_rep.add_argument("--scale", type=float, default=None)
+    p_rep.add_argument(
+        "--forensics",
+        action="store_true",
+        help="record forensic digests for every simulation the sweep "
+        "actually executes and print them after the figures",
+    )
     p_rep.set_defaults(fn=cmd_report)
 
     return parser

@@ -96,18 +96,23 @@ class ValidationController:
         if msg.kind is MessageKind.NACK:
             self._reschedule(tx)
             return
+        # The responder is the abort's proximate source when it is a core
+        # (a SpecResp producer); directory-sourced data has no core to
+        # blame — the forensics layer then walks the forwarding edges to
+        # find the producer whose abort let memory serve stale data.
+        src = msg.src if msg.src >= 0 else None
         if msg.kind is MessageKind.SPEC_RESP:
             if msg.data != copy:
                 core.stats.validation_mismatches += 1
                 self._emit_mismatch(tx, msg.block)
-                core.abort_tx(AbortReason.VALIDATION)
+                core.abort_tx(AbortReason.VALIDATION, src=src, block=msg.block)
                 return
             # The system's validation scheme judges the fruitless attempt
             # (the generic PiC cycle check — or its budget-bounded
             # ablation — plus any policy-specific escape counter).
             reason = core.policy.check_unsuccessful_validation(tx, msg.pic)
             if reason is not None:
-                core.abort_tx(reason)
+                core.abort_tx(reason, src=src, block=msg.block)
                 return
             self._reschedule(tx)
             return
@@ -115,7 +120,7 @@ class ValidationController:
         if msg.data != copy:
             core.stats.validation_mismatches += 1
             self._emit_mismatch(tx, msg.block)
-            core.abort_tx(AbortReason.VALIDATION)
+            core.abort_tx(AbortReason.VALIDATION, src=src, block=msg.block)
             return
         tx.vsb.retire(msg.block)
         core.stats.validations_succeeded += 1

@@ -255,13 +255,20 @@ class ManifestEntry:
     config: RunConfig
     source: str  # "cached" | "run"
     seconds: float  # wall-time: simulation for "run", lookup for "cached"
+    #: Forensic digest (``ForensicReport.digest()``) when the batch ran
+    #: with ``forensics=True`` and this config actually executed; cache
+    #: hits stay ``None`` — the cache stores results, not event streams.
+    forensics: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "config": self.config.describe(),
             "source": self.source,
             "seconds": round(self.seconds, 6),
         }
+        if self.forensics is not None:
+            out["forensics"] = self.forensics
+        return out
 
 
 @dataclass
@@ -287,8 +294,14 @@ class RunManifest:
     def total_seconds(self) -> float:
         return sum(e.seconds for e in self.entries)
 
-    def record(self, config: RunConfig, source: str, seconds: float) -> None:
-        self.entries.append(ManifestEntry(config, source, seconds))
+    def record(
+        self,
+        config: RunConfig,
+        source: str,
+        seconds: float,
+        forensics: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.entries.append(ManifestEntry(config, source, seconds, forensics))
 
     def entry_for(self, cfg: RunConfig) -> Optional[ManifestEntry]:
         """Most recent entry for ``cfg`` (identity, then equality)."""
@@ -390,11 +403,27 @@ def _execute(cfg: RunConfig) -> SimulationResult:
     )
 
 
-def _execute_timed(cfg: RunConfig) -> Tuple[SimulationResult, float]:
+def _execute_timed(
+    cfg: RunConfig,
+) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
     """``_execute`` plus wall-time, measured inside the worker process."""
     start = time.perf_counter()
     result = _execute(cfg)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, None
+
+
+def _execute_forensic_timed(
+    cfg: RunConfig,
+) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
+    """Like :func:`_execute_timed`, but with a transaction ledger attached
+    and the run's forensic digest returned alongside (``forensics=True``
+    batches).  The digest is a plain dict, so it travels through the
+    worker-pool pickling unchanged."""
+    from ..analysis.forensics import report_for_config
+
+    start = time.perf_counter()
+    result, report = report_for_config(cfg)
+    return result, time.perf_counter() - start, report.digest()
 
 
 def _lookup(cfg: RunConfig, key: str) -> Optional[SimulationResult]:
@@ -485,6 +514,7 @@ def run_many(
     workers: Optional[int] = None,
     use_cache: bool = True,
     progress: Optional[ProgressFn] = None,
+    forensics: bool = False,
 ) -> List[SimulationResult]:
     """Run a batch of configurations, in parallel when ``workers > 1``.
 
@@ -493,6 +523,11 @@ def run_many(
     ``workers=1`` (the ``REPRO_WORKERS`` default) everything runs serially
     in-process.  A worker that dies is retried once; a second failure
     raises with the offending configuration.
+
+    ``forensics=True`` attaches a transaction ledger to every simulation
+    that actually executes and records each run's forensic digest on its
+    :class:`ManifestEntry` (cache hits have no event stream, so their
+    entries carry no digest; pass ``use_cache=False`` for full coverage).
     """
     global _LAST_MANIFEST
     configs = list(configs)
@@ -501,6 +536,7 @@ def run_many(
     if workers is None:
         workers = default_workers()
     workers = max(1, min(workers, os.cpu_count() or 1))
+    exec_timed = _execute_forensic_timed if forensics else _execute_timed
     manifest = RunManifest()
     _LAST_MANIFEST = manifest
 
@@ -528,13 +564,15 @@ def run_many(
         for cfg in misses:
             start = time.perf_counter()
             try:
-                result = _execute(cfg)
+                result, seconds, digest = exec_timed(cfg)
             except Exception as exc:
                 result = _retry_serial(cfg, exc)
+                seconds = time.perf_counter() - start
+                digest = None
             COUNTERS.simulations += 1
             results[cfg.key()] = result
             done += 1
-            manifest.record(cfg, "run", time.perf_counter() - start)
+            manifest.record(cfg, "run", seconds, forensics=digest)
             _notify(progress, done, total, cfg, "run")
     elif misses:
         try:
@@ -542,7 +580,7 @@ def run_many(
                 max_workers=min(workers, len(misses))
             ) as pool:
                 futures = {
-                    pool.submit(_execute_timed, cfg): cfg for cfg in misses
+                    pool.submit(exec_timed, cfg): cfg for cfg in misses
                 }
                 retried: set = set()
                 pending = set(futures)
@@ -553,7 +591,7 @@ def run_many(
                     for fut in finished:
                         cfg = futures.pop(fut)
                         try:
-                            result, seconds = fut.result()
+                            result, seconds, digest = fut.result()
                         except BrokenProcessPool:
                             raise  # pool is gone: fall back to serial below
                         except Exception as exc:
@@ -564,14 +602,14 @@ def run_many(
                                     f"[{cfg.describe()}]: {exc}"
                                 ) from exc
                             retried.add(cfg.key())
-                            retry = pool.submit(_execute_timed, cfg)
+                            retry = pool.submit(exec_timed, cfg)
                             futures[retry] = cfg
                             pending.add(retry)
                             continue
                         COUNTERS.simulations += 1
                         results[cfg.key()] = result
                         done += 1
-                        manifest.record(cfg, "run", seconds)
+                        manifest.record(cfg, "run", seconds, forensics=digest)
                         _notify(progress, done, total, cfg, "run")
         except BrokenProcessPool as crash:
             # A worker died hard (signal/OOM): finish the remainder

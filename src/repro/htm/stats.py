@@ -53,6 +53,12 @@ class AttemptOutcome(Enum):
     ABORTED = "aborted"
 
 
+#: HTMStats fields that never serialize (see ``HTMStats.to_dict``).
+TRANSIENT_GAUGES = frozenset(
+    {"committed_cycles", "aborted_cycles", "fallback_cycles"}
+)
+
+
 @dataclass(slots=True)
 class AttemptRecord:
     """Fig. 6 bookkeeping for a single hardware transaction attempt."""
@@ -81,6 +87,18 @@ class HTMStats:
     # total cycles commits spent fenced on a non-empty VSB (Section III-A).
     vsb_high_water: int = 0
     vsb_stall_cycles: int = 0
+    # Wasted-work cycle gauges (the paper's Figs. 5-7 causal view): cycles
+    # spent inside attempts that committed, inside attempts that rolled
+    # back (wasted speculative work), and inside fallback-serialized
+    # sections.  Transient — excluded from to_dict/from_dict (so cached
+    # payloads and the golden determinism digests are unchanged) and from
+    # equality (a cache-reloaded result must still compare equal to the
+    # live run it was saved from); the forensics layer (repro inspect)
+    # recomputes them from live runs and cross-checks them against the
+    # TxLedger's buckets.
+    committed_cycles: int = field(default=0, compare=False)
+    aborted_cycles: int = field(default=0, compare=False)
+    fallback_cycles: int = field(default=0, compare=False)
     # Per-transaction-site statistics (keyed by Txn.label, "" when unset).
     label_commits: Counter = field(default_factory=Counter)
     label_aborts: Counter = field(default_factory=Counter)
@@ -129,9 +147,15 @@ class HTMStats:
         }
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable snapshot of every counter (disk cache)."""
+        """JSON-serializable snapshot of every counter (disk cache).
+
+        The transient wasted-cycle gauges are omitted: they are an
+        in-process forensic view, and serializing them would change the
+        golden determinism digests pinned on this payload."""
         out: Dict[str, object] = {}
         for f in dataclasses.fields(self):
+            if f.name in TRANSIENT_GAUGES:
+                continue
             value = getattr(self, f.name)
             if f.name == "aborts":
                 out[f.name] = {r.value: n for r, n in value.items() if n}
@@ -178,6 +202,9 @@ class HTMStats:
         # A gauge, not a counter: the merged high water is the max.
         self.vsb_high_water = max(self.vsb_high_water, other.vsb_high_water)
         self.vsb_stall_cycles += other.vsb_stall_cycles
+        self.committed_cycles += other.committed_cycles
+        self.aborted_cycles += other.aborted_cycles
+        self.fallback_cycles += other.fallback_cycles
         self.conflicted_committed += other.conflicted_committed
         self.conflicted_aborted += other.conflicted_aborted
         self.forwarder_committed += other.forwarder_committed

@@ -224,8 +224,8 @@ class L1Controller:
     def _hit_latency_callback(self, fn: Callable, *args) -> None:
         self._schedule(self._hit_latency, fn, *args)
 
-    def _abort_capacity(self, tx: TxState) -> None:
-        self.core.abort_tx(AbortReason.CAPACITY)
+    def _abort_capacity(self, tx: TxState, block: int) -> None:
+        self.core.abort_tx(AbortReason.CAPACITY, block=block)
 
     def _install(self, block: int, state: str, **flags) -> bool:
         """Install a line; on a capacity abort of the running transaction
@@ -235,7 +235,7 @@ class L1Controller:
         except CapacityAbort:
             tx = self._tx()
             if tx is not None:
-                self._abort_capacity(tx)
+                self._abort_capacity(tx, block)
                 return False
             raise
         if victim is not None and victim.state in ("E", "M"):
@@ -487,7 +487,7 @@ class L1Controller:
             reason = AbortReason.LOCK
         elif msg.power and reason is AbortReason.CONFLICT:
             reason = AbortReason.POWER
-        self.core.abort_tx(reason)
+        self.core.abort_tx(reason, src=msg.requester, block=msg.block)
         # Gang invalidation dropped the SM lines, but the probed block may
         # be cached *non-speculatively* (e.g. the fallback lock block, or a
         # block owned before the transaction began).  The directory will
@@ -594,8 +594,9 @@ class L1Controller:
                     # the directory, so invalidations for this block will
                     # no longer reach us — yet the *current* attempt has
                     # already read it.  Its isolation can no longer be
-                    # policed; it must roll back.
-                    self.core.abort_tx(AbortReason.CONFLICT)
+                    # policed; it must roll back.  (A directory race, not
+                    # another core's action: no ``src`` to attribute.)
+                    self.core.abort_tx(AbortReason.CONFLICT, block=msg.block)
                 return
             if out.is_validation:
                 self._complete_validation(tx, out, msg)

@@ -18,12 +18,24 @@ Shipped subscribers:
   :class:`~repro.obs.trace_export.ChromeTraceExporter` — on-disk traces
   (JSONL, Perfetto-loadable Chrome ``trace_event``);
 * :class:`~repro.obs.chains.ChainInspector` — forwarding-chain
-  reconstruction for post-mortem debugging.
+  reconstruction for post-mortem debugging;
+* :class:`~repro.obs.ledger.TxLedger` — per-attempt lifecycle ledger,
+  the substrate for causal abort attribution
+  (:func:`~repro.obs.attribution.attribute_aborts`) and wasted-work
+  accounting (:class:`~repro.obs.ledger.WastedWork`) behind
+  ``repro inspect``.
 
 See ``docs/OBSERVABILITY.md`` for the workflow.
 """
 
-from .chains import Chain, ChainEdge, ChainInspector
+from .attribution import (
+    CAUSE_KINDS,
+    AttributedAbort,
+    AttributionReport,
+    Cascade,
+    attribute_aborts,
+)
+from .chains import Chain, ChainEdge, ChainInspector, link_chains
 from .events import (
     EVENT_TYPES,
     Abort,
@@ -31,6 +43,7 @@ from .events import (
     DirForward,
     DirInvRound,
     FallbackAcquire,
+    FallbackCommit,
     MsgSent,
     PicUpdate,
     PowerElevate,
@@ -44,12 +57,24 @@ from .events import (
     VsbInsert,
 )
 from .interval import DEFAULT_WINDOW, IntervalMetrics, timeline_rows
+from .ledger import (
+    WASTED_WORK_BUCKETS,
+    FallbackSpan,
+    ForwardEdge,
+    TxAttempt,
+    TxLedger,
+    WastedWork,
+)
 from .probe import Probe
 from .trace_export import ChromeTraceExporter, JsonlTraceWriter
 from .tracer import TraceEvent, Tracer
 
 __all__ = [
     "Abort",
+    "AttributedAbort",
+    "AttributionReport",
+    "CAUSE_KINDS",
+    "Cascade",
     "Chain",
     "ChainEdge",
     "ChainInspector",
@@ -60,6 +85,9 @@ __all__ = [
     "DirInvRound",
     "EVENT_TYPES",
     "FallbackAcquire",
+    "FallbackCommit",
+    "FallbackSpan",
+    "ForwardEdge",
     "IntervalMetrics",
     "JsonlTraceWriter",
     "MsgSent",
@@ -70,11 +98,17 @@ __all__ = [
     "SpecForward",
     "TraceEvent",
     "Tracer",
+    "TxAttempt",
     "TxBegin",
+    "TxLedger",
     "ValidationMismatch",
     "ValidationOk",
     "ValidationStart",
     "VsbDrain",
     "VsbInsert",
+    "WASTED_WORK_BUCKETS",
+    "WastedWork",
+    "attribute_aborts",
+    "link_chains",
     "timeline_rows",
 ]

@@ -24,7 +24,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .events import Abort, ProbeEvent, SpecForward
 
@@ -67,6 +67,28 @@ class Chain:
     @property
     def end_cycle(self) -> int:
         return self.edges[-1].cycle
+
+
+def link_chains(edges: Iterable[ChainEdge]) -> List[Chain]:
+    """Link forwarding edges (in cycle order) into maximal linear chains.
+
+    A producer forwarding to several consumers forks: the first consumer
+    extends the chain, later ones start new chains anchored at the fork.
+    Shared by :class:`ChainInspector` and the forensics attribution pass
+    (:mod:`repro.obs.attribution`), so both agree on what a chain is.
+    """
+    chains: List[Chain] = []
+    #: consumer core -> chain currently ending at that core.
+    open_ends: Dict[int, Chain] = {}
+    for edge in sorted(edges, key=lambda e: e.cycle):
+        chain = open_ends.pop(edge.producer, None)
+        if chain is None:
+            chain = Chain(edges=[edge])
+            chains.append(chain)
+        else:
+            chain.edges.append(edge)
+        open_ends[edge.consumer] = chain
+    return chains
 
 
 class ChainInspector:
@@ -112,18 +134,7 @@ class ChainInspector:
     # ------------------------------------------------------------------
     def chains(self) -> List[Chain]:
         """Link edges (in cycle order) into maximal linear chains."""
-        chains: List[Chain] = []
-        #: consumer core -> chain currently ending at that core.
-        open_ends: Dict[int, Chain] = {}
-        for edge in sorted(self.edges, key=lambda e: e.cycle):
-            chain = open_ends.pop(edge.producer, None)
-            if chain is None:
-                chain = Chain(edges=[edge])
-                chains.append(chain)
-            else:
-                chain.edges.append(edge)
-            open_ends[edge.consumer] = chain
-        return chains
+        return link_chains(self.edges)
 
     def _abort_after(self, core: int, cycle: int) -> Optional[tuple]:
         """First abort of ``core`` at or after ``cycle`` (if any)."""

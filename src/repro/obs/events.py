@@ -157,7 +157,15 @@ class Commit(ProbeEvent):
 
 @dataclass(frozen=True, slots=True)
 class Abort(ProbeEvent):
-    """A hardware transaction attempt rolled back."""
+    """A hardware transaction attempt rolled back.
+
+    ``src``/``block`` carry the proximate cause when the abort site knows
+    it: the requester whose probe won a conflict, the producer whose
+    speculative value failed validation, or the block whose installation
+    overflowed the cache.  Both stay ``None`` for aborts with no external
+    trigger (explicit aborts, directory races) — the forensics layer tags
+    those ``unattributed`` unless the event stream lets it infer more.
+    """
 
     kind: ClassVar[str] = "abort"
 
@@ -165,6 +173,8 @@ class Abort(ProbeEvent):
     epoch: int = 0
     reason: str = ""
     label: str = ""
+    src: Optional[int] = None  # core whose action triggered the abort
+    block: Optional[int] = None  # block the triggering action touched
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,6 +184,19 @@ class FallbackAcquire(ProbeEvent):
     kind: ClassVar[str] = "fallback"
 
     core: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FallbackCommit(ProbeEvent):
+    """A fallback-path execution finished (the serialized section ends).
+
+    Paired with the preceding :class:`FallbackAcquire` of the same core;
+    the span between the two is the run's fallback-serialized time."""
+
+    kind: ClassVar[str] = "fallback-commit"
+
+    core: int = 0
+    label: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -224,6 +247,7 @@ EVENT_TYPES: Dict[str, type] = {
         Commit,
         Abort,
         FallbackAcquire,
+        FallbackCommit,
         PowerElevate,
         DirForward,
         DirInvRound,

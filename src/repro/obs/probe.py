@@ -20,7 +20,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Tuple
 
 from .events import ProbeEvent
 
@@ -28,12 +28,20 @@ Subscriber = Callable[[ProbeEvent], None]
 
 
 class Probe:
-    """Fan-out hub for typed probe events."""
+    """Fan-out hub for typed probe events.
+
+    The subscriber collection is a copy-on-write tuple: ``subscribe`` /
+    ``unsubscribe`` build a replacement tuple, ``emit`` iterates whatever
+    tuple it sees at call time.  A callback that unsubscribes itself (or
+    anyone else) mid-delivery mutates only the *next* emit's view — the
+    in-flight iteration keeps its snapshot — and the hot path allocates
+    nothing per event (the old per-emit ``tuple(...)`` copy is gone).
+    """
 
     __slots__ = ("_subscribers",)
 
     def __init__(self) -> None:
-        self._subscribers: List[Subscriber] = []
+        self._subscribers: Tuple[Subscriber, ...] = ()
 
     def __bool__(self) -> bool:
         """Truthy only while at least one subscriber is attached — emit
@@ -47,21 +55,22 @@ class Probe:
     def subscribe(self, fn: Subscriber) -> Subscriber:
         """Attach ``fn``; it receives every subsequent event."""
         if fn not in self._subscribers:
-            self._subscribers.append(fn)
+            self._subscribers = self._subscribers + (fn,)
         return fn
 
     def unsubscribe(self, fn: Subscriber) -> None:
         """Detach ``fn``; unknown subscribers are ignored (idempotent)."""
-        try:
-            self._subscribers.remove(fn)
-        except ValueError:
-            pass
+        if fn in self._subscribers:
+            self._subscribers = tuple(
+                s for s in self._subscribers if s != fn
+            )
 
     def emit(self, event: ProbeEvent) -> None:
         """Deliver ``event`` to every subscriber, in subscription order.
 
-        The subscriber list is snapshotted so a callback may unsubscribe
-        itself (e.g. a tracer that hit its event cap) mid-delivery.
+        Snapshot semantics come free from copy-on-write: the loop binds
+        the current tuple once, so concurrent (un)subscription from a
+        callback cannot perturb this delivery round.
         """
-        for fn in tuple(self._subscribers):
+        for fn in self._subscribers:
             fn(event)

@@ -80,6 +80,11 @@ class Core:
         # Cycle at which the current attempt entered the commit fence
         # (waiting for the VSB to drain); feeds ``vsb_stall_cycles``.
         self._fence_since: Optional[int] = None
+        # Cycle at which the current attempt started running user code
+        # (None until the lock subscription succeeds) and at which the
+        # fallback lock was acquired; feed the wasted-cycle gauges.
+        self._attempt_begin: Optional[int] = None
+        self._fallback_since: Optional[int] = None
         # Blocks written by earlier aborted attempts of the current Txn:
         # the hardware analogue is a store-address predictor.  Feeds the
         # Rrestrict/W "in-flight write" heuristic — a block this attempt
@@ -140,6 +145,7 @@ class Core:
         assert self._txn is not None
         self._epoch += 1
         self._attempts += 1
+        self._attempt_begin = None
         self.tx = TxState(
             core_id=self.core_id,
             epoch=self._epoch,
@@ -168,6 +174,7 @@ class Core:
             return
         assert self._txn is not None
         self.stats.tx_attempts += 1
+        self._attempt_begin = self.engine.now
         probe = self.sim.probe
         if probe._subscribers:
             probe.emit(
@@ -276,6 +283,9 @@ class Core:
         self.l1.cache.clear_speculative_marks()
         self.validation.cancel()
         self.stats.tx_commits += 1
+        if self._attempt_begin is not None:
+            self.stats.committed_cycles += self.engine.now - self._attempt_begin
+            self._attempt_begin = None
         if self._txn is not None:
             self.stats.label_commits[self._txn.label] += 1
         if self._power:
@@ -290,7 +300,20 @@ class Core:
     # ------------------------------------------------------------------
     # Abort (called by the L1 controller, validation controller, or self).
     # ------------------------------------------------------------------
-    def abort_tx(self, reason: AbortReason) -> None:
+    def abort_tx(
+        self,
+        reason: AbortReason,
+        *,
+        src: Optional[int] = None,
+        block: Optional[int] = None,
+    ) -> None:
+        """Roll back the running attempt.
+
+        ``src``/``block`` name the proximate cause when the abort site
+        knows it (conflicting requester, mismatching producer, the block
+        that overflowed); they ride the :class:`~repro.obs.events.Abort`
+        event for the forensics layer and change nothing else.
+        """
         tx = self.tx
         if tx is None or not tx.active:
             return
@@ -301,8 +324,12 @@ class Core:
                     cycle=self.engine.now, core=self.core_id, epoch=tx.epoch,
                     reason=reason.value,
                     label=self._txn.label if self._txn is not None else "",
+                    src=src, block=block,
                 )
             )
+        if self._attempt_begin is not None:
+            self.stats.aborted_cycles += self.engine.now - self._attempt_begin
+            self._attempt_begin = None
         if tx.commit_pending:
             # The attempt died inside the commit fence: the wait still
             # counts as VSB stall time.
@@ -394,6 +421,7 @@ class Core:
     def _lock_cas_result(self, observed: int) -> None:
         if observed == LOCK_FREE:
             self.sim.lock.acquisitions += 1
+            self._fallback_since = self.engine.now
             probe = self.sim.probe
             if probe._subscribers:
                 probe.emit(
@@ -439,6 +467,17 @@ class Core:
     def _finish_fallback(self, result: Any) -> None:
         self._in_fallback = False
         self.stats.tx_fallback_commits += 1
+        if self._fallback_since is not None:
+            self.stats.fallback_cycles += self.engine.now - self._fallback_since
+            self._fallback_since = None
+        probe = self.sim.probe
+        if probe._subscribers:
+            probe.emit(
+                obs.FallbackCommit(
+                    cycle=self.engine.now, core=self.core_id,
+                    label=self._txn.label if self._txn is not None else "",
+                )
+            )
         if self._txn is not None:
             self.stats.label_commits[self._txn.label] += 1
         self._txn = None

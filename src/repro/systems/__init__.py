@@ -39,7 +39,9 @@ from .spec import (
     get_spec,
     paper_systems,
     register,
+    register_alias,
     registered_systems,
+    system_aliases,
 )
 
 # Importing these modules registers their systems.
@@ -62,7 +64,9 @@ __all__ = [
     "make_policy",
     "paper_systems",
     "register",
+    "register_alias",
     "registered_systems",
+    "system_aliases",
 ]
 
 

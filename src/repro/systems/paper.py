@@ -9,7 +9,7 @@ retries=64 with a 0-cycle validation interval.
 
 from __future__ import annotations
 
-from .spec import ForwardClass, SystemSpec, register
+from .spec import ForwardClass, SystemSpec, register, register_alias
 
 BASELINE = register(
     SystemSpec(
@@ -92,3 +92,8 @@ LEVC = register(
     ),
     paper=True,
 )
+
+# The paper calls the requester-wins baseline "HTM-BE" (best-effort HTM);
+# accept that name everywhere a system name is read without adding a
+# second registry entry (sweeps and cache keys see only "baseline").
+register_alias("htm-be", "baseline")

@@ -195,6 +195,7 @@ class UnknownSystemError(KeyError):
 _REGISTRY: Dict[str, SystemSpec] = {}
 _ORDER: List[str] = []  # registration order
 _PAPER: List[str] = []  # the paper's six, in presentation order
+_ALIASES: Dict[str, str] = {}  # alternate lookup name -> registered name
 
 
 def register(spec: SystemSpec, *, paper: bool = False) -> SystemSpec:
@@ -220,8 +221,35 @@ def register(spec: SystemSpec, *, paper: bool = False) -> SystemSpec:
     return spec
 
 
+def register_alias(alias: str, target: str) -> None:
+    """Make ``alias`` resolve to the registered system ``target``.
+
+    Aliases are lookup conveniences only: they resolve through
+    :func:`get_spec` but never appear in :func:`registered_systems`, the
+    paper-six sweeps, or cache keys (the resolved spec's canonical name
+    is what serializes).  Re-registering an alias to the same target is
+    idempotent; retargeting or shadowing a registered name is an error.
+    """
+    if alias in _REGISTRY:
+        raise ValueError(f"{alias!r} is already a registered system name")
+    existing = _ALIASES.get(alias)
+    if existing is not None and existing != target:
+        raise ValueError(
+            f"alias {alias!r} already points at {existing!r}; "
+            f"cannot retarget to {target!r}"
+        )
+    if target not in _REGISTRY:
+        raise UnknownSystemError(target, tuple(_ORDER))
+    _ALIASES[alias] = target
+
+
+def system_aliases() -> Dict[str, str]:
+    """Every registered alias, mapped to its canonical system name."""
+    return dict(_ALIASES)
+
+
 def get_spec(name: str) -> SystemSpec:
-    """Look up a registered system by name.
+    """Look up a registered system by name (or alias).
 
     Raises :class:`UnknownSystemError` (a ``KeyError`` whose message lists
     every registered key) for unknown names.
@@ -229,6 +257,8 @@ def get_spec(name: str) -> SystemSpec:
     if isinstance(name, SystemSpec):
         return name
     spec = _REGISTRY.get(name)
+    if spec is None and name in _ALIASES:
+        spec = _REGISTRY.get(_ALIASES[name])
     if spec is None:
         raise UnknownSystemError(name, tuple(_ORDER))
     return spec

@@ -63,6 +63,40 @@ class TestProbe:
         probe.emit(Commit(cycle=1, core=0, epoch=1))
         assert len(seen) == 1
 
+    def test_emit_iterates_a_copy_on_write_snapshot(self):
+        """Mutating the subscriber list from inside a delivery must not
+        affect the in-flight emit: a subscriber added mid-emit sees only
+        later events, one removed mid-emit still sees the current one."""
+        probe = Probe()
+        seen_late = []
+        seen_victim = []
+
+        def victim(ev):
+            seen_victim.append(ev.cycle)
+
+        def meddler(ev):
+            probe.subscribe(seen_late.append)
+            probe.unsubscribe(victim)
+
+        probe.subscribe(meddler)
+        probe.subscribe(victim)
+        probe.emit(Commit(cycle=1, core=0, epoch=1))
+        assert seen_late == []  # not in the snapshot emit iterated
+        assert seen_victim == [1]  # removal did not mutate the snapshot
+        probe.emit(Commit(cycle=2, core=0, epoch=2))
+        assert [e.cycle for e in seen_late] == [2]
+        assert seen_victim == [1]
+
+    def test_emit_does_not_allocate_a_snapshot_per_event(self):
+        """The subscriber tuple is only rebuilt on (un)subscribe; emit
+        iterates the stored tuple itself (the old per-emit ``tuple()``
+        copy was measurable on traced runs)."""
+        probe = Probe()
+        probe.subscribe(lambda ev: None)
+        before = probe._subscribers
+        probe.emit(Commit(cycle=1, core=0, epoch=1))
+        assert probe._subscribers is before
+
 
 # ----------------------------------------------------------------------
 class TestObserverEffect:
@@ -162,6 +196,50 @@ class TestIntervalMetrics:
             json.loads(json.dumps(result.to_dict()))
         )
         assert clone.intervals == result.intervals
+
+    def test_window_larger_than_run_yields_one_bin(self):
+        """A window wider than the whole run collapses to a single bin
+        holding every event."""
+        metrics = IntervalMetrics(window=1_000_000)
+        for cycle in (0, 7, 4_242, 99_999):
+            metrics(Commit(cycle=cycle, core=0, epoch=1))
+        bins = metrics.bins()
+        assert len(bins) == 1
+        assert bins[0]["start"] == 0
+        assert bins[0]["commits"] == 4
+        assert metrics.totals()["commits"] == 4
+
+    def test_final_partial_window_keeps_its_events(self):
+        """Events past the last full window land in a final (short) bin;
+        nothing is truncated at the run's tail."""
+        metrics = IntervalMetrics(window=100)
+        metrics(Commit(cycle=50, core=0, epoch=1))
+        metrics(Commit(cycle=205, core=0, epoch=2))  # 5 cycles into bin 2
+        bins = metrics.bins()
+        assert [b["start"] for b in bins] == [0, 100, 200]
+        assert [b["commits"] for b in bins] == [1, 0, 1]
+        assert metrics.totals()["commits"] == 2
+
+    def test_zero_event_interior_window_is_materialized_empty(self):
+        """A silent window between active ones still appears in bins()
+        (dense axis), with every counter zero and no abort keys."""
+        metrics = IntervalMetrics(window=100)
+        metrics(Commit(cycle=10, core=0, epoch=1))
+        metrics(Commit(cycle=310, core=0, epoch=2))
+        bins = metrics.bins()
+        assert [b["start"] for b in bins] == [0, 100, 200, 300]
+        for empty in bins[1:3]:
+            assert empty["commits"] == 0
+            assert empty["aborts"] == {}
+            assert empty["forwards"] == 0
+            assert empty["vsb_peak"] == 0
+            assert empty["fallback_acquires"] == 0
+            assert empty["power_elevations"] == 0
+        # Round trip preserves the dense axis, including empty bins.
+        rebuilt = IntervalMetrics.from_dict(
+            {"window": 100, "bins": bins}
+        )
+        assert rebuilt.to_dict() == {"window": 100, "bins": bins}
 
 
 # ----------------------------------------------------------------------
