@@ -1,0 +1,27 @@
+"""figcap — read-set capacity sensitivity (beyond-paper extension).
+
+Sweeps ``read_set_limit`` on the capacity-limited systems (``cap-be``,
+``cap-chats``): a bounded-entry exact signature raises a ``capacity``
+abort on the first read past the budget and the transaction serializes
+immediately (the RTM "retry not helpful" rule).  The expected shape:
+capacity aborts fall monotonically as the budget grows, and the largest
+budget behaves like the paper's unbounded signatures.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figcap
+from repro.systems.capacity import CAPACITY_SWEEP
+
+
+def test_figcap_capacity_sweep(run_once):
+    result = run_once(figcap)
+    print()
+    print(result.rendering)
+
+    for label, by_limit in result.extra["capacity_by_limit"].items():
+        counts = [by_limit[n] for n in CAPACITY_SWEEP]
+        assert counts == sorted(counts, reverse=True), (
+            f"{label}: capacity aborts should fall monotonically with the "
+            f"read-set budget, got {dict(by_limit)}"
+        )

@@ -3,8 +3,12 @@
 
 Usage::
 
-    PYTHONPATH=src python -m repro bench --quick --out bench.json
-    python scripts/check_bench.py bench.json
+    PYTHONPATH=src python -m repro bench --quick
+    python scripts/check_bench.py benchmarks/perf/history
+
+The report argument is either a ``BENCH_<rev>.json`` file or a directory
+(the newest ``BENCH_*.json`` inside is gated — ``repro bench`` defaults
+to writing into ``benchmarks/perf/history/``).
 
 Exit codes: 0 = schema valid and no regression; 1 = regression or
 malformed report.
@@ -145,7 +149,11 @@ def update_baseline(report: dict, baseline_path: Path) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="BENCH_<rev>.json produced by repro bench")
+    parser.add_argument(
+        "report",
+        help="BENCH_<rev>.json produced by repro bench, or a directory "
+        "(e.g. benchmarks/perf/history) whose newest BENCH_*.json is used",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -165,8 +173,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    report_path = Path(args.report)
+    if report_path.is_dir():
+        candidates = sorted(
+            report_path.glob("BENCH_*.json"),
+            key=lambda p: p.stat().st_mtime,
+        )
+        if not candidates:
+            print(f"no BENCH_*.json in {report_path}", file=sys.stderr)
+            return 1
+        report_path = candidates[-1]
+        print(f"using newest report {report_path}")
     try:
-        report = json.loads(Path(args.report).read_text())
+        report = json.loads(report_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"cannot read report: {exc}", file=sys.stderr)
         return 1

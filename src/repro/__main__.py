@@ -602,7 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="FILE",
-        help="report path (default: ./BENCH_<rev>.json)",
+        help="report path (default: benchmarks/perf/history/"
+        "BENCH_<rev>.json in a source checkout, else ./BENCH_<rev>.json)",
     )
     p_bench.set_defaults(fn=cmd_bench)
 

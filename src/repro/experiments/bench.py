@@ -12,8 +12,9 @@ across revisions) and reports host-side throughput:
 * ``peak_rss_kb`` — the process's peak resident set after the sweep
   (``getrusage``), the memory regression metric.
 
-Results are written to ``BENCH_<rev>.json`` (git short revision) so a
-working tree can accumulate an audit trail of measurements;
+Results are written to ``BENCH_<rev>.json`` (git short revision) under
+``benchmarks/perf/history/`` — the working tree's accumulating audit
+trail of measurements (cwd outside a source checkout);
 ``scripts/check_bench.py`` validates the schema and gates a run against
 the committed baseline in ``benchmarks/perf/baseline.json``.
 
@@ -85,6 +86,14 @@ BENCH_CASES = (
     ),
     BenchCase(
         "synth", system="chats-ts", scale=2.0, quick_scale=0.5,
+        informational=True,
+    ),
+    BenchCase(
+        "vacation", system="cap-be", scale=0.5, quick_scale=0.2,
+        informational=True,
+    ),
+    BenchCase(
+        "intruder", system="hybrid-be", scale=0.5, quick_scale=0.2,
         informational=True,
     ),
 )
@@ -197,8 +206,22 @@ def run_suite(
     }
 
 
+def history_dir() -> Optional[Path]:
+    """The working tree's measurement archive (``benchmarks/perf/history``),
+    or None when running outside a source checkout."""
+    root = Path(__file__).resolve().parents[3]
+    candidate = root / "benchmarks" / "perf" / "history"
+    return candidate if candidate.is_dir() else None
+
+
 def default_output_path(report: Dict, directory: Optional[Path] = None) -> Path:
-    base = directory if directory is not None else Path.cwd()
+    """Where ``repro bench`` writes its report.
+
+    Reports land in ``benchmarks/perf/history/`` when run from a source
+    checkout, so the audit trail of measurements accumulates in one
+    git-visible place; outside a checkout they fall back to the cwd.
+    """
+    base = directory if directory is not None else history_dir() or Path.cwd()
     return base / f"BENCH_{report['rev']}.json"
 
 

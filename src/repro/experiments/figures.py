@@ -15,6 +15,7 @@ from ..analysis import metrics
 from ..analysis.tables import format_heatmap, format_stacked, format_table
 from ..sim.config import ForwardClass, table2_config
 from ..systems import paper
+from ..systems.capacity import CAPACITY_SWEEP
 from ..systems.spec import SystemSpec
 from ..sim.results import SimulationResult
 from .registry import (
@@ -420,6 +421,82 @@ def fig10(
 
 
 # ----------------------------------------------------------------------
+# figcap — read-set capacity sensitivity (beyond-paper extension).
+# ----------------------------------------------------------------------
+def figcap(
+    workloads: Optional[Tuple[str, ...]] = None,
+    limits: Tuple[int, ...] = CAPACITY_SWEEP,
+) -> FigureResult:
+    """Sweep ``read_set_limit`` on the capacity-limited systems.
+
+    Two renderings: capacity-abort counts per budget (the headline —
+    expected to fall monotonically as the budget grows) and execution
+    time normalized to each system's largest budget.
+    """
+    exp = get_experiment("figcap")
+    workloads = workloads or exp.workloads
+    _prefetch("figcap", workloads, limits=limits)
+    cap_series: Dict[str, Dict[str, float]] = {}
+    time_series: Dict[str, Dict[str, float]] = {}
+    raw: Dict[str, Dict[str, SimulationResult]] = {}
+    capacity_by_limit: Dict[str, Dict[int, int]] = {}
+    for system in exp.systems:
+        table = table2_config(system)
+        reference: Dict[str, SimulationResult] = {}
+        capacity_by_limit[system.label] = {}
+        for n in limits:
+            htm = table.replace(read_set_limit=n)
+            runs = {w: run_cached(w, system, htm=htm) for w in workloads}
+            label = f"{system.label} rs={n}"
+            raw[label] = runs
+            cap_series[label] = {
+                w: float(r.stats.abort_breakdown().get("capacity", 0))
+                for w, r in runs.items()
+            }
+            capacity_by_limit[system.label][n] = int(
+                sum(cap_series[label].values())
+            )
+            if n == limits[-1]:
+                reference = runs
+        for n in limits:
+            time_series[f"{system.label} rs={n}"] = metrics.normalized_times(
+                raw[f"{system.label} rs={n}"], reference
+            )
+    result = FigureResult(
+        "figcap",
+        exp.title,
+        cap_series,
+        extra={
+            "time": time_series,
+            "capacity_by_limit": capacity_by_limit,
+            "runs": raw,
+        },
+    )
+    result.rendering = "\n".join(
+        [
+            format_table(
+                "figcap — capacity aborts per read-set budget",
+                metrics.order_workloads(workloads),
+                cap_series,
+                footer={
+                    f"total capacity aborts ({label})": ", ".join(
+                        f"rs={n}: {c}" for n, c in by_limit.items()
+                    )
+                    for label, by_limit in capacity_by_limit.items()
+                },
+            ),
+            "",
+            format_table(
+                "figcap — execution time normalized to the largest budget",
+                metrics.order_workloads(workloads),
+                time_series,
+            ),
+        ]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Fig. 11 — comparison with LEVC-BE-Idealized.
 # ----------------------------------------------------------------------
 def fig11(workloads: Optional[Tuple[str, ...]] = None) -> FigureResult:
@@ -462,6 +539,7 @@ FIGURES = {
     "fig9": fig9,
     "fig10": fig10,
     "fig11": fig11,
+    "figcap": figcap,
 }
 
 

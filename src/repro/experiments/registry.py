@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..analysis.metrics import EVALUATION_ORDER
 from ..sim.config import ForwardClass, table2_config
 from ..systems import paper
+from ..systems.capacity import CAPACITY_SWEEP
+from ..systems import capacity as _capacity
 from ..systems.spec import SystemSpec
 from .runner import RunConfig
 
@@ -162,6 +164,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "(the paper: 0.005% off 32 entries) — the sweet spot",
         ),
         Experiment(
+            id="figcap",
+            title="Read-set capacity sensitivity (beyond-paper extension)",
+            workloads=("genome", "vacation", "llb-l"),
+            systems=(_capacity.CAP_BE, _capacity.CAP_CHATS),
+            bench="benchmarks/bench_figcap_capacity.py",
+            parameters=f"read_set_limit in {CAPACITY_SWEEP}",
+            expected_shape="capacity aborts fall monotonically as the "
+            "read-set budget grows; the largest budget behaves like the "
+            "paper's unbounded signatures",
+        ),
+        Experiment(
             id="fig11",
             title="CHATS and PCHATS vs LEVC-BE-Idealized",
             workloads=EVALUATION_ORDER,
@@ -263,6 +276,19 @@ def _fig10_configs(
     ]
 
 
+def _figcap_configs(
+    exp, workloads, limits: Tuple[int, ...] = CAPACITY_SWEEP
+) -> List[RunConfig]:
+    return [
+        RunConfig.make(
+            w, system, htm=table2_config(system).replace(read_set_limit=n)
+        )
+        for system in exp.systems
+        for n in limits
+        for w in workloads
+    ]
+
+
 def _fig11_configs(exp, workloads) -> List[RunConfig]:
     return _sweep_configs(
         workloads, (paper.BASELINE,) + tuple(exp.systems)
@@ -279,6 +305,7 @@ _CONFIG_BUILDERS: Dict[str, Callable[..., List[RunConfig]]] = {
     "fig9": _fig9_configs,
     "fig10": _fig10_configs,
     "fig11": _fig11_configs,
+    "figcap": _figcap_configs,
 }
 
 
@@ -291,7 +318,7 @@ def experiment_configs(
 
     ``params`` forwards sweep overrides to the sensitivity figures
     (``classes`` for fig8, ``retries`` for fig9, ``sizes``/``intervals``
-    for fig10).  Configurations honour the ``REPRO_*`` bench defaults at
+    for fig10, ``limits`` for figcap).  Configurations honour the ``REPRO_*`` bench defaults at
     call time, exactly like :func:`~repro.experiments.runner.run_cached`.
     """
     exp = get_experiment(exp_id)

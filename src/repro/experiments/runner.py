@@ -498,10 +498,21 @@ def _notify(
         progress(done, total, cfg, source)
 
 
-def _retry_serial(cfg: RunConfig, cause: BaseException) -> SimulationResult:
-    """Second (and last) attempt for a config whose first run failed."""
+def _retry_serial(
+    cfg: RunConfig,
+    cause: BaseException,
+    exec_timed: Callable[
+        [RunConfig], Tuple[SimulationResult, float, Optional[Dict[str, object]]]
+    ],
+) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
+    """Second (and last) attempt for a config whose first run failed.
+
+    Runs through the same ``exec_timed`` callable as the first attempt so
+    a forensics-mode retry keeps its ledger (and therefore its manifest
+    digest), and so the returned wall-time covers only the successful
+    attempt — not the failed one."""
     try:
-        return _execute(cfg)
+        return exec_timed(cfg)
     except Exception as exc:
         raise RuntimeError(
             f"simulation failed twice for config [{cfg.describe()}]: {exc}"
@@ -562,13 +573,10 @@ def run_many(
 
     if workers <= 1 or len(misses) <= 1:
         for cfg in misses:
-            start = time.perf_counter()
             try:
                 result, seconds, digest = exec_timed(cfg)
             except Exception as exc:
-                result = _retry_serial(cfg, exc)
-                seconds = time.perf_counter() - start
-                digest = None
+                result, seconds, digest = _retry_serial(cfg, exc, exec_timed)
             COUNTERS.simulations += 1
             results[cfg.key()] = result
             done += 1
@@ -617,12 +625,11 @@ def run_many(
             for cfg in misses:
                 if cfg.key() in results:
                     continue
-                start = time.perf_counter()
-                result = _retry_serial(cfg, crash)
+                result, seconds, digest = _retry_serial(cfg, crash, exec_timed)
                 COUNTERS.simulations += 1
                 results[cfg.key()] = result
                 done += 1
-                manifest.record(cfg, "run", time.perf_counter() - start)
+                manifest.record(cfg, "run", seconds, forensics=digest)
                 _notify(progress, done, total, cfg, "run")
 
     if use_cache:

@@ -1,18 +1,32 @@
-"""Global fallback lock with eager subscription (Section V-C).
+"""Fallback paths: the global lock and the hybrid ownership records.
 
 Best-effort HTM gives no forward-progress guarantee, so after the retry
-threshold a transaction re-executes non-speculatively under a single global
-lock [10].  Transactions *eagerly subscribe*: they read the lock word at
-begin, putting its block into their read signature, so the lock holder's
-acquiring store (a conflicting non-transactional GETX) aborts every running
-transaction — preserving atomicity against the non-speculative path.
+threshold a transaction re-executes non-speculatively.  Two models:
 
-The lock itself is an ordinary simulated memory word manipulated with the
-non-transactional atomic-CAS path of the coherence model; this module only
-pins its address and tracks contention statistics.
+* :class:`FallbackLock` — the paper's single global lock [10].
+  Transactions *eagerly subscribe*: they read the lock word at begin,
+  putting its block into their read signature, so the lock holder's
+  acquiring store (a conflicting non-transactional GETX) aborts every
+  running transaction — preserving atomicity against the non-speculative
+  path.  The lock itself is an ordinary simulated memory word manipulated
+  with the non-transactional atomic-CAS path of the coherence model; this
+  module only pins its address and tracks contention statistics.
+
+* :class:`OwnershipTable` — the hybrid slow path's per-block ownership
+  records (``SystemSpec.fallback == "hybrid"``).  A give-up transaction
+  re-executes as instrumented software that acquires an exclusive record
+  per block at encounter time, buffers writes in a redo log, and
+  publishes at commit; hardware transactions check the records on every
+  access and abort with ``hybrid-slowpath`` when they touch an owned
+  block.  Like the PowerTM token manager, the table is simulator-level
+  metadata rather than simulated memory — the cost of the software
+  instrumentation is modelled as a per-acquisition cycle charge at the
+  core (see :data:`repro.sim.core.SLOWPATH_OREC_DELAY`).
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
 
 from ..mem.address import AddressSpace
 
@@ -32,3 +46,54 @@ class FallbackLock:
 
     def block(self, geometry) -> int:
         return geometry.block_of(self.addr)
+
+
+class OwnershipTable:
+    """Per-block exclusive ownership records for the hybrid slow path.
+
+    One table per simulation.  Software slow-path transactions acquire a
+    record per block before touching it (encounter-time locking) and hold
+    every record until their redo log has been published; on a conflict
+    with another owner they release *everything* and retry after backoff,
+    so ownership waits can never form a cycle.  Hardware transactions
+    consult :meth:`owner` on each transactional access.
+    """
+
+    def __init__(self) -> None:
+        self._owner: Dict[int, int] = {}
+        #: Cores currently executing the software slow path (used by the
+        #: L1 controllers to classify holder-side aborts caused by
+        #: slow-path coherence traffic as ``hybrid-slowpath``).
+        self._active: Set[int] = set()
+        # Contention bookkeeping (simulator-level; never serialized).
+        self.acquisitions = 0
+        self.conflicts = 0
+        self.slowpath_entries = 0
+
+    def owner(self, block: int) -> Optional[int]:
+        return self._owner.get(block)
+
+    def acquire(self, block: int, core: int) -> None:
+        current = self._owner.get(block)
+        if current is not None and current != core:
+            raise RuntimeError(
+                f"orec {block:#x} already owned by core {current}"
+            )
+        if current is None:
+            self._owner[block] = core
+            self.acquisitions += 1
+
+    def release_all(self, core: int, blocks: List[int]) -> None:
+        for block in blocks:
+            if self._owner.get(block) == core:
+                del self._owner[block]
+
+    def enter(self, core: int) -> None:
+        self._active.add(core)
+        self.slowpath_entries += 1
+
+    def exit(self, core: int) -> None:
+        self._active.discard(core)
+
+    def in_slowpath(self, core: int) -> bool:
+        return core in self._active

@@ -3,13 +3,35 @@
 The paper's baseline uses a *perfect* signature for read sets (Section
 VI-B), following commercial RTM implementations whose read sets can exceed
 the private cache.  A perfect signature never produces false positives or
-negatives; we also provide a classic Bloom-filter signature for ablation
-studies of the "perfect signature" assumption.
+negatives.  Two departures from that idealisation back the
+capacity-limited system family (``repro.systems.capacity``):
+
+* :class:`BloomSignature` — a classic H3-style Bloom filter whose false
+  positives surface as spurious conflicts (first-class via the
+  ``signature_bits`` Table-II knob, originally an ablation toy);
+* :class:`BoundedPerfectSignature` — exact tracking up to a fixed entry
+  budget, raising :class:`FootprintOverflow` on the first block past it
+  (the overflow becomes a ``capacity`` abort at the L1 controller).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Set
+
+
+class FootprintOverflow(Exception):
+    """A transactional footprint exceeded a hardware capacity bound.
+
+    Raised by :class:`BoundedPerfectSignature` (read-set entry budget) and
+    by :meth:`~repro.htm.txstate.TxState.track_write` (write-set budget);
+    the L1 controller converts it into an ``AbortReason.CAPACITY`` abort,
+    which the core answers with an immediate fallback transition — the
+    RTM "retrying will not help" rule.
+    """
+
+    def __init__(self, block: int):
+        super().__init__(f"capacity bound exceeded at block {block:#x}")
+        self.block = block
 
 
 class PerfectSignature:
@@ -37,6 +59,31 @@ class PerfectSignature:
 
     def blocks(self) -> Set[int]:
         return set(self._blocks)
+
+
+class BoundedPerfectSignature(PerfectSignature):
+    """Exact signature with a bounded number of entries.
+
+    Models a fully-associative tracking structure of ``max_entries``
+    lines: membership is exact (no false positives), but adding a *new*
+    block past the budget raises :class:`FootprintOverflow`.  Re-adding a
+    tracked block is always free, so retries with the same footprint fail
+    deterministically at the same access.
+    """
+
+    __slots__ = ("max_entries",)
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        super().__init__()
+        self.max_entries = max_entries
+
+    def add(self, block: int) -> None:
+        blocks = self._blocks
+        if block not in blocks and len(blocks) >= self.max_entries:
+            raise FootprintOverflow(block)
+        blocks.add(block)
 
 
 class BloomSignature:

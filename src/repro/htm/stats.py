@@ -29,6 +29,7 @@ class AbortReason(Enum):
     NAIVE_LIMIT = "naive-limit"  # naive R-S validation budget exhausted
     EXPLICIT = "explicit"  # workload/runtime requested the abort
     POWER = "power"  # lost a conflict against a power transaction
+    HYBRID = "hybrid-slowpath"  # conflicted with a software slow-path txn
 
     @property
     def conflict_induced(self) -> bool:
@@ -45,6 +46,7 @@ class AbortReason(Enum):
             AbortReason.NAIVE_LIMIT,
             AbortReason.POWER,
             AbortReason.LOCK,
+            AbortReason.HYBRID,
         )
 
 

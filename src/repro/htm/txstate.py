@@ -16,7 +16,12 @@ from ..core.pic import PiCRegister
 from ..core.vsb import ValidationStateBuffer
 from ..mem.memory import MainMemory, SpeculativeStore
 from ..sim.config import HTMConfig
-from .signature import BloomSignature, PerfectSignature
+from .signature import (
+    BloomSignature,
+    BoundedPerfectSignature,
+    FootprintOverflow,
+    PerfectSignature,
+)
 from .stats import AbortReason, AttemptRecord
 
 
@@ -43,6 +48,7 @@ class TxState:
         "pic",
         "vsb",
         "naive_budget",
+        "write_limit",
         "abort_reason",
         "record",
         "levc_has_consumer",
@@ -92,12 +98,14 @@ class TxState:
             self.vsb.clear()
         else:
             # Perfect signature per the paper's evaluation; a Bloom filter
-            # when the configuration ablates that assumption.
-            self.read_sig = (
-                PerfectSignature()
-                if htm.signature_bits is None
-                else BloomSignature(bits=htm.signature_bits)
-            )
+            # or a bounded-entry exact signature when the configuration
+            # models finite read-set tracking (the capacity family).
+            if htm.read_set_limit is not None:
+                self.read_sig = BoundedPerfectSignature(htm.read_set_limit)
+            elif htm.signature_bits is not None:
+                self.read_sig = BloomSignature(bits=htm.signature_bits)
+            else:
+                self.read_sig = PerfectSignature()
             self.write_set = set()
             self.store = SpeculativeStore(memory)
             self.pic = PiCRegister(limit=htm.pic_limit, init=htm.pic_init)
@@ -110,6 +118,8 @@ class TxState:
             )
         #: Naive R-S escape hatch: unsuccessful-validation budget.
         self.naive_budget = htm.naive_validation_budget
+        #: Capacity family: bounded speculative write set (None = unbounded).
+        self.write_limit = htm.write_set_limit
 
         self.abort_reason: Optional[AbortReason] = None
         self.record = AttemptRecord()
@@ -150,7 +160,14 @@ class TxState:
         self.read_sig.add(block)
 
     def track_write(self, block: int) -> None:
-        self.write_set.add(block)
+        ws = self.write_set
+        if (
+            self.write_limit is not None
+            and block not in ws
+            and len(ws) >= self.write_limit
+        ):
+            raise FootprintOverflow(block)
+        ws.add(block)
         # Writes imply read permission in the conflict model.
         self.read_sig.add(block)
 

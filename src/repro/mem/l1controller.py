@@ -18,6 +18,8 @@ import itertools
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.policies import ConflictPolicy, Resolution
+from ..htm.fallback import OwnershipTable
+from ..htm.signature import FootprintOverflow
 from ..htm.stats import AbortReason, HTMStats
 from ..htm.txstate import TxState
 from ..net.messages import DIRECTORY, Message, MessageKind
@@ -99,6 +101,7 @@ class L1Controller:
         "_stats",
         "_lock_block",
         "_probe",
+        "_orecs",
         "cache",
         "_outstanding",
         "_handlers",
@@ -125,6 +128,7 @@ class L1Controller:
         stats: HTMStats,
         lock_block: int,
         probe: Optional[Probe] = None,
+        orecs: Optional[OwnershipTable] = None,
     ):
         self.core_id = core_id
         self._engine = engine
@@ -137,6 +141,10 @@ class L1Controller:
         self._stats = stats
         self._lock_block = lock_block
         self._probe = probe if probe is not None else Probe()
+        # Hybrid-fallback systems only: the shared ownership-record table
+        # hardware transactions must check on every access.  ``None`` for
+        # every other system, keeping their access paths untouched.
+        self._orecs = orecs
         self.cache = L1Cache(config)
         self._outstanding: Dict[int, _Outstanding] = {}
         # Hot-path constants/bound methods: the spec's forwarding hook
@@ -227,6 +235,20 @@ class L1Controller:
     def _abort_capacity(self, tx: TxState, block: int) -> None:
         self.core.abort_tx(AbortReason.CAPACITY, block=block)
 
+    def _check_orec(self, block: int) -> bool:
+        """Hybrid instrumentation: a hardware transaction touching a block
+        owned by another core's software slow path must abort (the slow
+        path holds the record until its redo log is published, so reading
+        around it would see a half-committed transaction).  Returns True
+        when the access killed the attempt."""
+        owner = self._orecs.owner(block)
+        if owner is not None and owner != self.core_id:
+            self.core.abort_tx(
+                AbortReason.HYBRID, src=owner, block=block
+            )
+            return True
+        return False
+
     def _install(self, block: int, state: str, **flags) -> bool:
         """Install a line; on a capacity abort of the running transaction
         returns False (the caller's operation dies with the attempt)."""
@@ -257,7 +279,13 @@ class L1Controller:
     # ------------------------------------------------------------------
     def tx_read(self, tx: TxState, addr: int, callback: ValueCallback) -> None:
         block = self._block_of(addr)
-        tx.track_read(block)
+        if self._orecs is not None and self._check_orec(block):
+            return  # hybrid slow-path owner: the attempt just died
+        try:
+            tx.track_read(block)
+        except FootprintOverflow:
+            self._abort_capacity(tx, block)
+            return
         line = self.cache.lookup(block)
         if line is not None:
             self._hit_latency_callback(callback, tx.store.read_word(addr))
@@ -277,7 +305,13 @@ class L1Controller:
         self, tx: TxState, addr: int, value: int, callback: ValueCallback
     ) -> None:
         block = self._block_of(addr)
-        tx.track_write(block)
+        if self._orecs is not None and self._check_orec(block):
+            return  # hybrid slow-path owner: the attempt just died
+        try:
+            tx.track_write(block)
+        except FootprintOverflow:
+            self._abort_capacity(tx, block)
+            return
         tx.store.write_word(addr, value)
         line = self.cache.lookup(block)
         if line is not None and line.state in ("E", "M"):
@@ -487,6 +521,16 @@ class L1Controller:
             reason = AbortReason.LOCK
         elif msg.power and reason is AbortReason.CONFLICT:
             reason = AbortReason.POWER
+        elif (
+            reason is AbortReason.CONFLICT
+            and msg.non_transactional
+            and self._orecs is not None
+            and self._orecs.in_slowpath(msg.requester)
+        ):
+            # The requester is a hybrid software slow path (reading a
+            # block it is about to own, or publishing its redo log): the
+            # same cause as a failed orec check, so classify it alike.
+            reason = AbortReason.HYBRID
         self.core.abort_tx(reason, src=msg.requester, block=msg.block)
         # Gang invalidation dropped the SM lines, but the probed block may
         # be cached *non-speculatively* (e.g. the fallback lock block, or a
@@ -650,7 +694,11 @@ class L1Controller:
         if occupancy > self._stats.vsb_high_water:
             self._stats.vsb_high_water = occupancy
         tx.store.install_received_block(out.block, msg.data)
-        tx.track_write(out.block)
+        try:
+            tx.track_write(out.block)
+        except FootprintOverflow:
+            self._abort_capacity(tx, out.block)
+            return
         tx.mark_consumed()
         pic_before = tx.pic.value
         tx.pic.adopt_from_spec_resp(msg.pic)

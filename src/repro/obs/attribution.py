@@ -41,7 +41,8 @@ CAUSE_KINDS = (
     "naive-budget",  # naive R-S escape budget exhausted
     "power-token",  # lost against a power transaction
     "fallback-lock",  # global-lock subscription invalidated
-    "capacity",  # own footprint overflowed the cache
+    "hybrid-slowpath",  # conflicted with a software slow-path transaction
+    "capacity",  # own footprint overflowed a capacity bound
     "explicit",  # workload requested the abort
     "unattributed",  # event stream cannot name the trigger
 )
@@ -54,6 +55,7 @@ _REASON_TO_KIND = {
     "naive-limit": "naive-budget",
     "power": "power-token",
     "lock": "fallback-lock",
+    "hybrid-slowpath": "hybrid-slowpath",
     "capacity": "capacity",
     "explicit": "explicit",
 }
@@ -261,6 +263,8 @@ def _attribute_one(ledger: TxLedger, attempt: TxAttempt) -> AttributedAbort:
                     source_core = span.core
                     break
     # "capacity" and "explicit" are self-caused: concrete, no source.
+    # "hybrid-slowpath" keeps the slow-path core stamped on the event as
+    # its source; software transactions have no hardware attempt to link.
     return AttributedAbort(
         attempt=attempt, kind=kind,
         source_core=source_core, source_attempt=source_attempt,

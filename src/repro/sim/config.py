@@ -137,10 +137,28 @@ class HTMConfig:
     # whose false positives surface as spurious conflicts — an ablation of
     # the perfect-signature assumption.
     signature_bits: Optional[int] = None
+    # Capacity-limited systems: bounded-entry read-set tracking (a
+    # BoundedPerfectSignature of this many blocks) and a bounded write
+    # set.  Exceeding either raises a ``capacity`` abort that transitions
+    # straight to the fallback path.  ``None`` keeps the paper's unbounded
+    # model.  ``read_set_limit`` is mutually exclusive with
+    # ``signature_bits`` (both replace the perfect signature).
+    read_set_limit: Optional[int] = None
+    write_set_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.read_set_limit is not None:
+            if self.signature_bits is not None:
+                raise ValueError(
+                    "read_set_limit and signature_bits are mutually "
+                    "exclusive read-set models"
+                )
+            if self.read_set_limit < 1:
+                raise ValueError("read_set_limit must be positive")
+        if self.write_set_limit is not None and self.write_set_limit < 1:
+            raise ValueError("write_set_limit must be positive")
         if self.system.forwards:
             if self.vsb_size is None or self.vsb_size < 1:
                 raise ValueError(f"{self.system} requires a positive VSB size")
@@ -185,4 +203,7 @@ def table2_config(system: Union[SystemSpec, str]) -> HTMConfig:
         forward_class=spec.forward_class,
         vsb_size=spec.vsb_size,
         validation_interval=spec.validation_interval,
+        signature_bits=spec.signature_bits,
+        read_set_limit=spec.read_set_limit,
+        write_set_limit=spec.write_set_limit,
     )

@@ -39,6 +39,11 @@ POWER_MAX_ATTEMPTS = 4
 #: Delay between polls while spinning on a held fallback lock.
 LOCK_SPIN_DELAY = 60
 
+#: Hybrid slow path: cycles charged for acquiring one ownership record
+#: (the CAS on the orec word) — the per-access instrumentation cost of
+#: running software transactions concurrently with hardware ones.
+SLOWPATH_OREC_DELAY = 4
+
 
 class Core:
     """One simulated core running one workload thread."""
@@ -75,8 +80,16 @@ class Core:
         # the power token or the global lock.
         self._uses_timestamps = self.htm.system.uses_timestamps
         self._powered = self.htm.system.powered
+        #: Spec hook: give-up transactions enter the concurrent software
+        #: slow path instead of serializing behind the global lock.
+        self._hybrid = self.htm.system.fallback == "hybrid"
+        self._block_of = sim.workload.space.geometry.block_of
         self._levc_timestamp: Optional[int] = None
         self._in_fallback = False
+        # Hybrid slow-path state: ownership records held (acquisition
+        # order) and the redo log of buffered writes (addr -> value).
+        self._orecs_held: list = []
+        self._redo: dict = {}
         # Cycle at which the current attempt entered the commit fence
         # (waiting for the VSB to drain); feeds ``vsb_stall_cycles``.
         self._fence_since: Optional[int] = None
@@ -400,6 +413,8 @@ class Core:
     def _enter_fallback(self) -> None:
         if self._powered:
             self.sim.power.request(self.core_id, self._power_granted)
+        elif self._hybrid:
+            self._begin_slowpath()
         else:
             self._acquire_global_lock()
 
@@ -489,3 +504,151 @@ class Core:
             LOCK_FREE,
             lambda _v: self.engine.schedule(1, self._advance_thread, result),
         )
+
+    # ------------------------------------------------------------------
+    # Hybrid software slow path (spec.fallback == "hybrid").
+    #
+    # The give-up transaction re-executes as instrumented software that
+    # runs *concurrently* with hardware transactions: it acquires an
+    # exclusive per-block ownership record at encounter time (reads and
+    # writes alike), buffers its writes in a redo log, and publishes them
+    # through ordinary non-transactional stores at commit — whose GETX
+    # traffic aborts conflicting hardware readers via the normal
+    # coherence path, while the ownership records (checked by hardware
+    # transactions on every access) fence the window between first touch
+    # and publication.  On an ownership conflict with another slow path
+    # it releases everything and retries after backoff, so ownership
+    # waits never form a cycle.
+    # ------------------------------------------------------------------
+    def _begin_slowpath(self) -> None:
+        assert self._txn is not None
+        self._in_fallback = True
+        self._fallback_since = self.engine.now
+        self.sim.orecs.enter(self.core_id)
+        probe = self.sim.probe
+        if probe._subscribers:
+            # The span between FallbackAcquire and FallbackCommit brackets
+            # the whole slow-path execution, internal restarts included —
+            # mirroring the lock path, so the ledger's "fallback" bucket
+            # and the fallback_cycles gauge stay in exact agreement.
+            probe.emit(
+                obs.FallbackAcquire(cycle=self.engine.now, core=self.core_id)
+            )
+        self._restart_slowpath()
+
+    def _restart_slowpath(self) -> None:
+        assert self._txn is not None
+        self._redo = {}
+        self._tgen = self._txn.body(*self._txn.args)
+        self._advance_slowpath(None)
+
+    def _advance_slowpath(self, send_value: Any) -> None:
+        assert self._tgen is not None
+        try:
+            op = self._tgen.send(send_value)
+        except StopIteration as stop:
+            self._tx_result = stop.value
+            self._publish_slowpath(list(self._redo.items()), 0)
+            return
+        cls = op.__class__
+        if cls is Read:
+            self._slowpath_read(op.addr)
+        elif cls is Write:
+            self._slowpath_write(op.addr, op.value)
+        elif cls is Work:
+            self.engine.schedule(max(1, op.cycles), self._advance_slowpath, None)
+        elif cls is Abort:
+            # An explicit abort restarts the software transaction; drop
+            # every record first so other threads can make progress while
+            # we back off (unlike the lock path, nothing is serialized).
+            self._release_orecs()
+            self._attempts += 1
+            self.engine.schedule(self._backoff(), self._restart_slowpath)
+        else:
+            raise TypeError(f"slow-path body yielded unsupported op {op!r}")
+
+    def _claim_orec(self, block: int) -> Optional[int]:
+        """Acquire the ownership record for ``block``, returning the cycle
+        cost of the acquisition (0 when already held), or ``None`` when
+        another slow path owns it — in which case everything has been
+        released and a restart is scheduled."""
+        orecs = self.sim.orecs
+        owner = orecs.owner(block)
+        if owner is not None and owner != self.core_id:
+            orecs.conflicts += 1
+            self._release_orecs()
+            self._attempts += 1
+            self.engine.schedule(self._backoff(), self._restart_slowpath)
+            return None
+        if owner is None:
+            orecs.acquire(block, self.core_id)
+            self._orecs_held.append(block)
+            return SLOWPATH_OREC_DELAY
+        return 0
+
+    def _slowpath_read(self, addr: int) -> None:
+        cost = self._claim_orec(self._block_of(addr))
+        if cost is None:
+            return
+        if addr in self._redo:
+            # Read-own-write: the redo log overlays committed memory.
+            self.engine.schedule(
+                1 + cost, self._advance_slowpath, self._redo[addr]
+            )
+        elif cost:
+            self.engine.schedule(
+                cost, self.l1.nontx_read, addr, self._advance_slowpath
+            )
+        else:
+            self.l1.nontx_read(addr, self._advance_slowpath)
+
+    def _slowpath_write(self, addr: int, value: int) -> None:
+        cost = self._claim_orec(self._block_of(addr))
+        if cost is None:
+            return
+        self._redo[addr] = value
+        self.engine.schedule(1 + cost, self._advance_slowpath, None)
+
+    def _release_orecs(self) -> None:
+        if self._orecs_held:
+            self.sim.orecs.release_all(self.core_id, self._orecs_held)
+            self._orecs_held = []
+        self._redo = {}
+        self._tgen = None
+
+    def _publish_slowpath(self, items: list, index: int) -> None:
+        """Drain the redo log into committed memory, one non-transactional
+        store at a time (each one's GETX aborts conflicting hardware
+        transactions through the ordinary coherence path).  Ownership
+        records are held until the last store lands, so no hardware
+        transaction can observe a half-published redo log."""
+        if index < len(items):
+            addr, value = items[index]
+            self.l1.nontx_write(
+                addr,
+                value,
+                lambda _v: self._publish_slowpath(items, index + 1),
+            )
+            return
+        self._finish_slowpath()
+
+    def _finish_slowpath(self) -> None:
+        self._release_orecs()
+        self.sim.orecs.exit(self.core_id)
+        self._in_fallback = False
+        self.stats.tx_fallback_commits += 1
+        if self._fallback_since is not None:
+            self.stats.fallback_cycles += self.engine.now - self._fallback_since
+            self._fallback_since = None
+        probe = self.sim.probe
+        if probe._subscribers:
+            probe.emit(
+                obs.FallbackCommit(
+                    cycle=self.engine.now, core=self.core_id,
+                    label=self._txn.label if self._txn is not None else "",
+                )
+            )
+        if self._txn is not None:
+            self.stats.label_commits[self._txn.label] += 1
+        self._txn = None
+        self.engine.schedule(1, self._advance_thread, self._tx_result)

@@ -6,7 +6,7 @@ import itertools
 from typing import List, Optional
 
 from ..core.policies import make_policy
-from ..htm.fallback import FallbackLock
+from ..htm.fallback import FallbackLock, OwnershipTable
 from ..htm.power import PowerTokenManager
 from ..htm.stats import HTMStats
 from ..mem.directory import Directory
@@ -62,6 +62,12 @@ class Simulator:
         self.stats = HTMStats()
         self.lock = FallbackLock(workload.space)
         lock_block = workload.space.geometry.block_of(self.lock.addr)
+        # Hybrid-fallback systems get per-block ownership records; every
+        # other system keeps ``None`` here so the L1/core hot paths carry
+        # no new work (the golden digests pin this).
+        self.orecs: Optional[OwnershipTable] = (
+            OwnershipTable() if self.htm.system.fallback == "hybrid" else None
+        )
 
         self.l1s: List[L1Controller] = [
             L1Controller(
@@ -76,6 +82,7 @@ class Simulator:
                 stats=self.stats,
                 lock_block=lock_block,
                 probe=self.probe,
+                orecs=self.orecs,
             )
             for i in range(self.config.num_cores)
         ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from .spec import (
     CONFLICT_LAYERS,
+    FALLBACK_LAYERS,
     ForwardClass,
     ORDERING_LAYERS,
     PRIORITY_LAYERS,
@@ -47,11 +48,14 @@ from .spec import (
 # Importing these modules registers their systems.
 from . import paper as _paper  # noqa: F401
 from . import extra as _extra  # noqa: F401
+from . import capacity as _capacity  # noqa: F401
+from . import hybrid as _hybrid  # noqa: F401
 
 from .compat import SystemKind, all_system_kinds
 
 __all__ = [
     "CONFLICT_LAYERS",
+    "FALLBACK_LAYERS",
     "ForwardClass",
     "ORDERING_LAYERS",
     "PRIORITY_LAYERS",

@@ -62,6 +62,12 @@ CONFLICT_LAYERS = ("requester-wins", "requester-speculates", "requester-stalls")
 ORDERING_LAYERS = ("none", "pic", "ideal-timestamp", "levc-flags")
 PRIORITY_LAYERS = ("none", "power")
 VALIDATION_LAYERS = ("none", "interval", "pic-check", "naive-budget")
+#: Fallback-path layer: ``lock`` serialises give-up transactions behind
+#: the global fallback lock (the paper's model, and PowerTM's token when
+#: the priority layer is ``power``); ``hybrid`` runs an instrumented
+#: software slow path concurrently with hardware transactions, guarded by
+#: per-block ownership records (see :mod:`repro.htm.fallback`).
+FALLBACK_LAYERS = ("lock", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -83,11 +89,23 @@ class SystemSpec:
     ordering: str = "none"
     priority: str = "none"
     validation: str = "none"
+    #: What a transaction that exhausts its retries does: serialise
+    #: behind the global lock (``"lock"``) or enter the instrumented
+    #: concurrent software slow path (``"hybrid"``).
+    fallback: str = "lock"
     # Table II parameters (the system's best cost-effective values).
     retries: int = 6
     forward_class: Optional[ForwardClass] = None
     vsb_size: Optional[int] = None
     validation_interval: Optional[int] = None
+    # Capacity knobs (the capacity-limited family; ``None`` keeps the
+    # paper's unbounded read/write-set model).  ``signature_bits`` selects
+    # a Bloom read signature, ``read_set_limit`` a bounded-entry perfect
+    # signature — mutually exclusive; ``write_set_limit`` bounds the
+    # speculative write set.
+    signature_bits: Optional[int] = None
+    read_set_limit: Optional[int] = None
+    write_set_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -112,6 +130,25 @@ class SystemSpec:
                 f"unknown validation layer {self.validation!r}; "
                 f"choose from {list(VALIDATION_LAYERS)}"
             )
+        if self.fallback not in FALLBACK_LAYERS:
+            raise ValueError(
+                f"unknown fallback layer {self.fallback!r}; "
+                f"choose from {list(FALLBACK_LAYERS)}"
+            )
+        if self.fallback == "hybrid" and self.priority == "power":
+            raise ValueError(
+                f"system {self.name!r}: the power token is itself a "
+                f"fallback path; combine it with fallback='lock'"
+            )
+        if self.read_set_limit is not None and self.signature_bits is not None:
+            raise ValueError(
+                f"system {self.name!r}: read_set_limit and signature_bits "
+                f"are mutually exclusive read-set models"
+            )
+        for knob in ("signature_bits", "read_set_limit", "write_set_limit"):
+            bound = getattr(self, knob)
+            if bound is not None and bound < 1:
+                raise ValueError(f"system {self.name!r}: {knob} must be positive")
         if self.forwards:
             # A forwarding system must carry the full forwarding
             # parameter set so ``table2_config`` always yields a valid
@@ -151,10 +188,13 @@ class SystemSpec:
     # -- presentation ---------------------------------------------------
     def describe_layers(self) -> str:
         """One-line layer composition, for ``repro list`` and docs."""
-        return (
+        text = (
             f"conflict={self.conflict} ordering={self.ordering} "
             f"priority={self.priority} validation={self.validation}"
         )
+        if self.fallback != "lock":
+            text += f" fallback={self.fallback}"
+        return text
 
     def describe_table2(self) -> str:
         """One-line Table II parameter summary."""
@@ -165,6 +205,12 @@ class SystemSpec:
             parts.append(f"vsb={self.vsb_size}")
         if self.validation_interval is not None:
             parts.append(f"interval={self.validation_interval}")
+        if self.signature_bits is not None:
+            parts.append(f"sig-bits={self.signature_bits}")
+        if self.read_set_limit is not None:
+            parts.append(f"rs-limit={self.read_set_limit}")
+        if self.write_set_limit is not None:
+            parts.append(f"ws-limit={self.write_set_limit}")
         return " ".join(parts)
 
     def __repr__(self) -> str:  # compact — specs appear in test ids/errors

@@ -23,6 +23,7 @@ class TestRegistry:
             "fig9",
             "fig10",
             "fig11",
+            "figcap",
         }
         assert set(EXPERIMENTS) == expected
 
