@@ -175,15 +175,24 @@ def main(argv=None) -> int:
 
     report_path = Path(args.report)
     if report_path.is_dir():
+        # mtime picks the newest report; filename breaks ties so two
+        # reports written within the same clock tick gate deterministically.
         candidates = sorted(
             report_path.glob("BENCH_*.json"),
-            key=lambda p: p.stat().st_mtime,
+            key=lambda p: (p.stat().st_mtime, p.name),
         )
         if not candidates:
-            print(f"no BENCH_*.json in {report_path}", file=sys.stderr)
+            print(
+                f"empty history: no BENCH_*.json in {report_path} — run "
+                "`PYTHONPATH=src python -m repro bench` to record one",
+                file=sys.stderr,
+            )
             return 1
         report_path = candidates[-1]
         print(f"using newest report {report_path}")
+    elif not report_path.exists():
+        print(f"report {report_path} does not exist", file=sys.stderr)
+        return 1
     try:
         report = json.loads(report_path.read_text())
     except (OSError, json.JSONDecodeError) as exc:

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validate a fleet-telemetry span log (and its Chrome export).
+
+Usage::
+
+    PYTHONPATH=src python -m repro run synth --all-systems --scale 0.1 \
+        --no-cache --telemetry fleet.jsonl --telemetry-chrome fleet.json
+    python scripts/check_telemetry.py fleet.jsonl --chrome fleet.json
+
+Checks the JSONL stream written by ``--telemetry``:
+
+* header line: ``kind=session`` with the ``repro-telemetry/1`` schema;
+* every span line: known span name, unique integer id, parent defined
+  before use, coherent interval, valid status;
+* tree shape: at least one ``run_many`` root, every child interval
+  contained in its parent's (within ``--epsilon`` seconds of clock
+  slack for worker-measured spans).
+
+With ``--chrome`` also validates the Perfetto export: required keys per
+event, known phases, non-negative ``X`` durations with proper slice
+nesting per track, balanced async ``b``/``e`` pairs, and the scheduler +
+worker track metadata.
+
+Exit codes: 0 = valid; 1 = any violation (all are listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-telemetry/1"
+SPAN_NAMES = {
+    "run_many", "submit", "cache-probe", "execute", "retry", "serialize",
+}
+STATUSES = {"open", "ok", "error"}
+CHROME_PHASES = {"M", "X", "b", "e", "i"}
+
+#: Slack (trace microseconds) tolerated in Chrome slice-nesting checks —
+#: span endpoints are independently rounded to the microsecond.
+EPS_US = 5
+
+
+def check_jsonl(path: Path, epsilon: float) -> list:
+    problems = []
+    try:
+        lines = path.read_text("utf-8").splitlines()
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return [f"{path} is empty"]
+
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        return [f"line 1: not JSON: {exc}"]
+    if header.get("kind") != "session":
+        problems.append("line 1: first line must have kind=session")
+    if header.get("schema") != SCHEMA:
+        problems.append(
+            f"line 1: schema {header.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for key in ("run_id", "started_unix", "pid"):
+        if key not in header:
+            problems.append(f"line 1: session header missing {key!r}")
+
+    spans = {}  # id -> span dict
+    roots = 0
+    for lineno, raw in enumerate(lines[1:], start=2):
+        if not raw.strip():
+            continue
+        try:
+            span = json.loads(raw)
+        except ValueError as exc:
+            problems.append(f"line {lineno}: not JSON: {exc}")
+            continue
+        where = f"line {lineno}"
+        if span.get("kind") != "span":
+            problems.append(f"{where}: kind {span.get('kind')!r} != 'span'")
+            continue
+        sid = span.get("id")
+        if not isinstance(sid, int):
+            problems.append(f"{where}: non-integer span id {sid!r}")
+            continue
+        if sid in spans:
+            problems.append(f"{where}: duplicate span id {sid}")
+            continue
+        name = span.get("name")
+        if name not in SPAN_NAMES:
+            problems.append(f"{where}: unknown span name {name!r}")
+        status = span.get("status")
+        if status not in STATUSES:
+            problems.append(f"{where}: invalid status {status!r}")
+        start = span.get("start_unix")
+        end = span.get("end_unix")
+        if not isinstance(start, (int, float)):
+            problems.append(f"{where}: missing/invalid start_unix")
+            start = None
+        if end is not None and not isinstance(end, (int, float)):
+            problems.append(f"{where}: invalid end_unix {end!r}")
+            end = None
+        if start is not None and end is not None and end < start:
+            problems.append(f"{where}: span ends before it starts")
+        if end is None and status != "open":
+            problems.append(f"{where}: status {status!r} but no end_unix")
+        parent = span.get("parent")
+        if parent is None:
+            if name == "run_many":
+                roots += 1
+            else:
+                problems.append(f"{where}: non-run_many span has no parent")
+        elif parent not in spans:
+            problems.append(
+                f"{where}: parent {parent} not defined before use"
+            )
+        else:
+            pspan = spans[parent]
+            pstart = pspan.get("start_unix")
+            pend = pspan.get("end_unix")
+            if (
+                start is not None
+                and isinstance(pstart, (int, float))
+                and start < pstart - epsilon
+            ):
+                problems.append(
+                    f"{where}: span {sid} starts {pstart - start:.3f}s "
+                    f"before its parent {parent}"
+                )
+            if (
+                end is not None
+                and isinstance(pend, (int, float))
+                and end > pend + epsilon
+            ):
+                problems.append(
+                    f"{where}: span {sid} ends {end - pend:.3f}s "
+                    f"after its parent {parent}"
+                )
+        spans[sid] = span
+
+    if not spans:
+        problems.append("no spans recorded")
+    elif roots == 0:
+        problems.append("no run_many root span")
+    return problems
+
+
+def check_chrome(path: Path) -> list:
+    problems = []
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents missing or empty"]
+
+    named_tids = set()
+    slices = {}  # tid -> list of (ts, dur)
+    async_open = {}  # (cat, id, name) -> open count
+    for idx, ev in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: invalid ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X slice with invalid dur {dur!r}")
+            else:
+                slices.setdefault(ev.get("tid"), []).append((ts, dur))
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            if ev.get("id") is None:
+                problems.append(f"{where}: async event without id")
+                continue
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            else:
+                if async_open.get(key, 0) <= 0:
+                    problems.append(f"{where}: 'e' without matching 'b' {key}")
+                else:
+                    async_open[key] -= 1
+
+    for key, count in sorted(async_open.items(), key=str):
+        if count:
+            problems.append(f"unclosed async span(s) {key}: {count} open")
+
+    # X slices on one track must be disjoint or properly nested.
+    for tid, intervals in sorted(slices.items(), key=str):
+        stack = []  # end timestamps of enclosing slices
+        for ts, dur in sorted(intervals, key=lambda i: (i[0], -i[1])):
+            while stack and stack[-1] <= ts + EPS_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1] + EPS_US:
+                problems.append(
+                    f"tid {tid}: slice at ts={ts} dur={dur} partially "
+                    f"overlaps an enclosing slice (ends at {stack[-1]})"
+                )
+            stack.append(ts + dur)
+        if tid not in named_tids:
+            problems.append(f"tid {tid}: carries slices but has no name")
+
+    if 0 not in named_tids:
+        problems.append("no scheduler track (tid 0 thread_name) metadata")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="span log written by --telemetry")
+    parser.add_argument(
+        "--chrome",
+        type=Path,
+        help="also validate this --telemetry-chrome export",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.05,
+        help="seconds of parent/child clock slack tolerated (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_jsonl(Path(args.jsonl), args.epsilon)
+    if not problems:
+        print(f"jsonl ok: {args.jsonl}")
+    if args.chrome is not None:
+        chrome_problems = check_chrome(args.chrome)
+        if not chrome_problems:
+            print(f"chrome ok: {args.chrome}")
+        problems += chrome_problems
+    for problem in problems:
+        print(f"telemetry: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,23 @@ Subcommands:
 
       python -m repro compare chats htm-be --workload cadd
 
+* ``trend`` — read every ``BENCH_*.json`` report in
+  ``benchmarks/perf/history/`` and render the cross-revision perf
+  trajectory with regression flags (exit 1 on a corrupt report)::
+
+      python -m repro trend
+      python -m repro trend benchmarks/perf/history --json trend.json
+
 * ``list`` — list registered workloads, systems, and experiments.
+
+``run`` and ``report`` also take the fleet-telemetry flags:
+``--telemetry FILE`` writes the batch's span log as JSONL
+(``scripts/check_telemetry.py`` validates it), ``--telemetry-chrome
+FILE`` exports the same spans as a Perfetto-loadable Chrome trace (one
+track per worker plus a scheduler track), ``--metrics FILE`` dumps the
+aggregated metrics registry (Prometheus text for ``.prom``, JSON
+otherwise), and ``--live`` repaints a terminal dashboard (throughput,
+ETA, cache hit rate, worker lanes) while the sweep runs.
 
 ``run`` also accepts ``--trace FILE`` / ``--trace-format {jsonl,chrome}``
 (shorthand for the ``trace`` subcommand) and ``--timeline W`` to print a
@@ -54,6 +70,7 @@ cache (default ``.repro_cache``, env ``REPRO_CACHE_DIR``), and
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -97,7 +114,9 @@ def _print_result(result) -> None:
             )
 
 
-def _apply_runner_flags(args: argparse.Namespace) -> None:
+def _apply_runner_flags(
+    args: argparse.Namespace, progress=None
+) -> None:
     """Propagate the shared cache/parallelism flags to the runner."""
     if getattr(args, "scale", None) is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
@@ -106,8 +125,60 @@ def _apply_runner_flags(args: argparse.Namespace) -> None:
     runner.configure(
         cache_dir=getattr(args, "cache_dir", None),
         disk_cache=False if getattr(args, "no_cache", False) else None,
-        progress=_progress_printer,
+        progress=progress if progress is not None else _progress_printer,
     )
+
+
+@contextlib.contextmanager
+def _telemetry_scope(args: argparse.Namespace):
+    """Install a fleet-telemetry session for the ``--telemetry`` /
+    ``--telemetry-chrome`` / ``--metrics`` / ``--live`` flags.
+
+    Yields the :class:`~repro.obs.telemetry.LiveDashboard` (or ``None``
+    without ``--live``); on exit the session is uninstalled and the
+    requested export files are written.
+    """
+    from .obs import telemetry
+
+    wants = (
+        getattr(args, "telemetry", None)
+        or getattr(args, "telemetry_chrome", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "live", False)
+    )
+    if not wants:
+        yield None
+        return
+    session = telemetry.install(telemetry.TelemetrySession())
+    dash = (
+        telemetry.LiveDashboard(session, stream=sys.stderr)
+        if getattr(args, "live", False)
+        else None
+    )
+    try:
+        yield dash
+    finally:
+        telemetry.uninstall(session)
+        if dash is not None:
+            dash.close()
+        if getattr(args, "telemetry", None):
+            spans = session.write_jsonl(args.telemetry)
+            print(
+                f"telemetry        : {spans:,} spans -> {args.telemetry} "
+                "(jsonl)"
+            )
+        if getattr(args, "telemetry_chrome", None):
+            session.write_chrome(args.telemetry_chrome)
+            print(
+                f"telemetry        : {session.span_count:,} spans -> "
+                f"{args.telemetry_chrome} (chrome)"
+            )
+        if getattr(args, "metrics", None):
+            session.metrics.write_snapshot(args.metrics)
+            print(
+                f"metrics          : {len(session.metrics)} metrics -> "
+                f"{args.metrics}"
+            )
 
 
 def _progress_printer(done: int, total: int, cfg, source: str) -> None:
@@ -186,32 +257,40 @@ def _traced_run(args, out_path: str, fmt: str, *, chains: bool = False) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    _apply_runner_flags(args)
     if args.trace is not None:
         if args.all_systems:
             raise SystemExit("--trace records one system at a time; "
                              "drop --all-systems or pick --system")
+        if args.telemetry or args.telemetry_chrome or args.live:
+            raise SystemExit(
+                "--telemetry/--live watch the runner fleet; --trace records "
+                "one uncached simulation — drop one of them"
+            )
+        _apply_runner_flags(args)
         return _traced_run(args, args.trace, args.trace_format)
-    systems = (
-        list(all_system_kinds())
-        if args.all_systems
-        else [_system_from_name(args.system)]
-    )
-    configs = [
-        runner.RunConfig.make(
-            args.workload,
-            system,
-            threads=args.threads,
-            seed=args.seed,
-            scale=args.scale,
-            max_events=80_000_000,
-            metrics_window=args.timeline,
+    with _telemetry_scope(args) as dash:
+        progress = dash.progress if dash is not None else _progress_printer
+        _apply_runner_flags(args, progress=progress)
+        systems = (
+            list(all_system_kinds())
+            if args.all_systems
+            else [_system_from_name(args.system)]
         )
-        for system in systems
-    ]
-    results = runner.run_many(
-        configs, progress=_progress_printer, forensics=args.forensics
-    )
+        configs = [
+            runner.RunConfig.make(
+                args.workload,
+                system,
+                threads=args.threads,
+                seed=args.seed,
+                scale=args.scale,
+                max_events=80_000_000,
+                metrics_window=args.timeline,
+            )
+            for system in systems
+        ]
+        results = runner.run_many(
+            configs, progress=progress, forensics=args.forensics
+        )
     baseline_cycles = None
     for system, result in zip(systems, results):
         if len(systems) > 1:
@@ -320,23 +399,26 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    _apply_runner_flags(args)
-    # Batch the union of every figure's declared configs so shared cells
-    # (the main six-system sweep feeds Figs. 1, 4-7, and 11) run once,
-    # spread over the worker pool; rendering then hits the warm cache.
-    union = [
-        cfg for fid in sorted(FIGURES) for cfg in experiment_configs(fid)
-    ]
-    runner.run_many(
-        union, progress=_progress_printer, forensics=args.forensics
-    )
-    sweep_manifest = runner.last_manifest()
-    for fid in sorted(FIGURES):
-        result = run_figure(fid)
-        print()
-        print("#" * 72)
-        print()
-        print(result.rendering)
+    with _telemetry_scope(args) as dash:
+        progress = dash.progress if dash is not None else _progress_printer
+        _apply_runner_flags(args, progress=progress)
+        # Batch the union of every figure's declared configs so shared
+        # cells (the main six-system sweep feeds Figs. 1, 4-7, and 11)
+        # run once, spread over the worker pool; rendering then hits the
+        # warm cache.
+        union = [
+            cfg for fid in sorted(FIGURES) for cfg in experiment_configs(fid)
+        ]
+        runner.run_many(
+            union, progress=progress, forensics=args.forensics
+        )
+        sweep_manifest = runner.last_manifest()
+        for fid in sorted(FIGURES):
+            result = run_figure(fid)
+            print()
+            print("#" * 72)
+            print()
+            print(result.rendering)
     counters = runner.counters()
     print(
         f"\n[runner] simulations={counters.simulations} "
@@ -372,6 +454,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     bench.write_report(report, out)
     print(bench.format_report(report))
     print(f"\nreport           : {out}")
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis.trends import (
+        TrendError,
+        format_trend,
+        load_history,
+        trend_dict,
+    )
+
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        try:
+            baseline = json.loads(baseline_path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 1
+    try:
+        reports = load_history(Path(args.history))
+    except TrendError as exc:
+        print(f"trend: {exc}", file=sys.stderr)
+        return 1
+    trend = trend_dict(reports, baseline=baseline, tolerance=args.tolerance)
+    print(format_trend(reports, baseline=baseline, tolerance=args.tolerance))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(trend, fh, indent=2, sort_keys=True)
+        print(f"\njson             : {args.json}")
+    if args.strict and trend["regressions"]:
+        print(
+            f"trend: {len(trend['regressions'])} regression flag(s) "
+            "with --strict",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -425,8 +547,37 @@ def build_parser() -> argparse.ArgumentParser:
         ".repro_cache)",
     )
 
+    telemetry_flags = argparse.ArgumentParser(add_help=False)
+    telemetry_flags.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="write the sweep's fleet-telemetry span log to FILE as JSONL "
+        "(validate with scripts/check_telemetry.py)",
+    )
+    telemetry_flags.add_argument(
+        "--telemetry-chrome",
+        default=None,
+        metavar="FILE",
+        help="export the span log as a Chrome trace_event file for "
+        "Perfetto: one track per worker plus a scheduler track",
+    )
+    telemetry_flags.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="dump the aggregated metrics registry (Prometheus text "
+        "exposition for .prom/.txt, JSON snapshot otherwise)",
+    )
+    telemetry_flags.add_argument(
+        "--live",
+        action="store_true",
+        help="repaint a live terminal dashboard (progress, ETA, cache hit "
+        "rate, per-worker lanes) while the sweep runs",
+    )
+
     p_run = sub.add_parser(
-        "run", help="run one workload", parents=[cache_flags]
+        "run", help="run one workload", parents=[cache_flags, telemetry_flags]
     )
     p_run.add_argument("workload", choices=workload_names())
     p_run.add_argument(
@@ -610,10 +761,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list workloads/systems/experiments")
     p_list.set_defaults(fn=cmd_list)
 
+    p_trend = sub.add_parser(
+        "trend",
+        help="render the cross-revision perf trajectory from "
+        "benchmarks/perf/history",
+        description=(
+            "Read every BENCH_<rev>.json report in the history directory "
+            "(oldest first by creation time), render events/sec per pinned "
+            "case across revisions with per-step deltas, and flag "
+            "regressions against the previous report and the committed "
+            "baseline floors.  Exits 1 on a missing or corrupt report."
+        ),
+    )
+    p_trend.add_argument(
+        "history",
+        nargs="?",
+        default="benchmarks/perf/history",
+        help="history directory of BENCH_*.json reports "
+        "(default: benchmarks/perf/history)",
+    )
+    p_trend.add_argument(
+        "--baseline",
+        default="benchmarks/perf/baseline.json",
+        metavar="FILE",
+        help="baseline floors to annotate (default: "
+        "benchmarks/perf/baseline.json)",
+    )
+    p_trend.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        metavar="FRAC",
+        help="flag a case dropping more than FRAC below the previous "
+        "report (default: 0.15)",
+    )
+    p_trend.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the trend as JSON",
+    )
+    p_trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any regression is flagged (CI gating)",
+    )
+    p_trend.set_defaults(fn=cmd_trend)
+
     p_rep = sub.add_parser(
         "report",
         help="regenerate the entire evaluation (all figures)",
-        parents=[cache_flags],
+        parents=[cache_flags, telemetry_flags],
     )
     p_rep.add_argument("--scale", type=float, default=None)
     p_rep.add_argument(

@@ -1,0 +1,12 @@
+"""Post-hoc analysis: metrics, tables, forensics, and perf trends.
+
+Submodules are imported directly (``from repro.analysis import metrics``);
+this package deliberately re-exports nothing so the CLI can lazy-import
+the heavier modules per subcommand:
+
+* :mod:`~repro.analysis.metrics` — derived figure-of-merit columns;
+* :mod:`~repro.analysis.tables` — ASCII tables/heatmaps/timelines;
+* :mod:`~repro.analysis.forensics` — abort attribution reports;
+* :mod:`~repro.analysis.trends` — cross-revision perf trajectory from
+  ``benchmarks/perf/history/`` (``repro trend``).
+"""

@@ -40,6 +40,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -47,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import telemetry as fleet
 from ..sim.config import HTMConfig, table2_config
 from ..systems.spec import SystemSpec, get_spec
 from ..sim.results import SimulationResult
@@ -259,6 +261,11 @@ class ManifestEntry:
     #: with ``forensics=True`` and this config actually executed; cache
     #: hits stay ``None`` — the cache stores results, not event streams.
     forensics: Optional[Dict[str, object]] = None
+    #: Worker-measured resource accounting for configs that executed
+    #: (``None`` for cache hits): pid, started_unix, wall/CPU seconds,
+    #: peak RSS, events simulated, and events/sec.  Measured inside the
+    #: worker process by :func:`_worker_resources`.
+    resources: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -268,6 +275,8 @@ class ManifestEntry:
         }
         if self.forensics is not None:
             out["forensics"] = self.forensics
+        if self.resources is not None:
+            out["resources"] = dict(self.resources)
         return out
 
 
@@ -294,14 +303,42 @@ class RunManifest:
     def total_seconds(self) -> float:
         return sum(e.seconds for e in self.entries)
 
+    @property
+    def events_simulated(self) -> int:
+        return sum(
+            int(e.resources.get("events", 0))
+            for e in self.entries
+            if e.resources
+        )
+
+    @property
+    def cpu_seconds(self) -> float:
+        return sum(
+            float(e.resources.get("cpu_seconds", 0.0))
+            for e in self.entries
+            if e.resources
+        )
+
+    @property
+    def max_peak_rss_kb(self) -> Optional[int]:
+        peaks = [
+            int(e.resources["peak_rss_kb"])
+            for e in self.entries
+            if e.resources and e.resources.get("peak_rss_kb") is not None
+        ]
+        return max(peaks) if peaks else None
+
     def record(
         self,
         config: RunConfig,
         source: str,
         seconds: float,
         forensics: Optional[Dict[str, object]] = None,
+        resources: Optional[Dict[str, object]] = None,
     ) -> None:
-        self.entries.append(ManifestEntry(config, source, seconds, forensics))
+        self.entries.append(
+            ManifestEntry(config, source, seconds, forensics, resources)
+        )
 
     def entry_for(self, cfg: RunConfig) -> Optional[ManifestEntry]:
         """Most recent entry for ``cfg`` (identity, then equality)."""
@@ -321,6 +358,9 @@ class RunManifest:
             "cached": self.cached,
             "run": self.executed,
             "total_seconds": round(self.total_seconds, 6),
+            "events_simulated": self.events_simulated,
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "max_peak_rss_kb": self.max_peak_rss_kb,
             "entries": [e.to_dict() for e in self.entries],
         }
 
@@ -403,27 +443,86 @@ def _execute(cfg: RunConfig) -> SimulationResult:
     )
 
 
-def _execute_timed(
-    cfg: RunConfig,
-) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
-    """``_execute`` plus wall-time, measured inside the worker process."""
-    start = time.perf_counter()
+#: What one executed config returns from its worker: the result, the
+#: successful attempt's wall-time, the optional forensic digest, and the
+#: worker-side resource sample.
+ExecOutcome = Tuple[
+    SimulationResult, float, Optional[Dict[str, object]], Dict[str, object]
+]
+
+
+def _worker_resources(
+    result: SimulationResult,
+    *,
+    started_unix: float,
+    wall_seconds: float,
+    cpu_seconds: float,
+) -> Dict[str, object]:
+    """Resource sample measured inside the worker process.
+
+    Plain dict of primitives so it travels through worker-pool pickling;
+    folded into the batch's :class:`ManifestEntry` and, when a telemetry
+    session is installed, into the per-lane ``execute`` spans.
+    """
+    try:
+        import resource
+
+        rss: Optional[int] = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+        if sys.platform == "darwin":  # pragma: no cover - linux CI
+            rss //= 1024  # macOS reports bytes, Linux KiB
+    except ImportError:  # pragma: no cover - non-POSIX
+        rss = None
+    return {
+        "pid": os.getpid(),
+        "started_unix": round(started_unix, 6),
+        "wall_seconds": round(wall_seconds, 6),
+        "cpu_seconds": round(cpu_seconds, 6),
+        "peak_rss_kb": rss,
+        "events": result.events,
+        "events_per_sec": (
+            round(result.events / wall_seconds, 3) if wall_seconds > 0 else 0.0
+        ),
+    }
+
+
+def _execute_timed(cfg: RunConfig) -> ExecOutcome:
+    """``_execute`` plus wall-time and resource accounting, measured
+    inside the worker process."""
+    started = time.time()
+    cpu0 = time.process_time()
+    t0 = time.perf_counter()
     result = _execute(cfg)
-    return result, time.perf_counter() - start, None
+    wall = time.perf_counter() - t0
+    resources = _worker_resources(
+        result,
+        started_unix=started,
+        wall_seconds=wall,
+        cpu_seconds=time.process_time() - cpu0,
+    )
+    return result, wall, None, resources
 
 
-def _execute_forensic_timed(
-    cfg: RunConfig,
-) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
+def _execute_forensic_timed(cfg: RunConfig) -> ExecOutcome:
     """Like :func:`_execute_timed`, but with a transaction ledger attached
     and the run's forensic digest returned alongside (``forensics=True``
     batches).  The digest is a plain dict, so it travels through the
     worker-pool pickling unchanged."""
     from ..analysis.forensics import report_for_config
 
-    start = time.perf_counter()
+    started = time.time()
+    cpu0 = time.process_time()
+    t0 = time.perf_counter()
     result, report = report_for_config(cfg)
-    return result, time.perf_counter() - start, report.digest()
+    wall = time.perf_counter() - t0
+    resources = _worker_resources(
+        result,
+        started_unix=started,
+        wall_seconds=wall,
+        cpu_seconds=time.process_time() - cpu0,
+    )
+    return result, wall, report.digest(), resources
 
 
 def _lookup(cfg: RunConfig, key: str) -> Optional[SimulationResult]:
@@ -501,10 +600,8 @@ def _notify(
 def _retry_serial(
     cfg: RunConfig,
     cause: BaseException,
-    exec_timed: Callable[
-        [RunConfig], Tuple[SimulationResult, float, Optional[Dict[str, object]]]
-    ],
-) -> Tuple[SimulationResult, float, Optional[Dict[str, object]]]:
+    exec_timed: Callable[[RunConfig], ExecOutcome],
+) -> ExecOutcome:
     """Second (and last) attempt for a config whose first run failed.
 
     Runs through the same ``exec_timed`` callable as the first attempt so
@@ -550,11 +647,15 @@ def run_many(
     exec_timed = _execute_forensic_timed if forensics else _execute_timed
     manifest = RunManifest()
     _LAST_MANIFEST = manifest
+    # Batch telemetry: the shared no-op recorder when no session is
+    # installed (the fleet-level analogue of an unsubscribed Probe).
+    batch = fleet.for_run_many()
 
     # Deduplicate, preserving first-occurrence order.
     unique: Dict[str, RunConfig] = {}
     for cfg in configs:
         unique.setdefault(cfg.key(), cfg)
+    batch.open(configs=len(configs), unique=len(unique), workers=workers)
 
     results: Dict[str, SimulationResult] = {}
     misses: List[RunConfig] = []
@@ -562,34 +663,61 @@ def run_many(
     done = 0
     for key, cfg in unique.items():
         start = time.perf_counter()
+        mem_before, disk_before = COUNTERS.memory_hits, COUNTERS.disk_hits
         hit = _lookup(cfg, key) if use_cache else None
+        probe_seconds = time.perf_counter() - start
+        if use_cache:
+            batch.probe(
+                cfg,
+                key,
+                outcome="hit" if hit is not None else "miss",
+                layer=(
+                    "memory"
+                    if COUNTERS.memory_hits > mem_before
+                    else "disk"
+                    if COUNTERS.disk_hits > disk_before
+                    else "none"
+                ),
+                seconds=probe_seconds,
+            )
         if hit is not None:
             results[key] = hit
             done += 1
-            manifest.record(cfg, "cached", time.perf_counter() - start)
+            manifest.record(cfg, "cached", probe_seconds)
             _notify(progress, done, total, cfg, "cached")
         else:
             misses.append(cfg)
 
     if workers <= 1 or len(misses) <= 1:
         for cfg in misses:
+            key = cfg.key()
+            batch.submitted(cfg, key)
+            retried_once = False
             try:
-                result, seconds, digest = exec_timed(cfg)
+                result, seconds, digest, resources = exec_timed(cfg)
             except Exception as exc:
-                result, seconds, digest = _retry_serial(cfg, exc, exec_timed)
+                batch.failed(cfg, key, exc)
+                retried_once = True
+                result, seconds, digest, resources = _retry_serial(
+                    cfg, exc, exec_timed
+                )
             COUNTERS.simulations += 1
-            results[cfg.key()] = result
+            results[key] = result
             done += 1
-            manifest.record(cfg, "run", seconds, forensics=digest)
+            manifest.record(
+                cfg, "run", seconds, forensics=digest, resources=resources
+            )
+            batch.finished(cfg, key, resources, retried=retried_once)
             _notify(progress, done, total, cfg, "run")
     elif misses:
         try:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(misses))
             ) as pool:
-                futures = {
-                    pool.submit(exec_timed, cfg): cfg for cfg in misses
-                }
+                futures = {}
+                for cfg in misses:
+                    batch.submitted(cfg, cfg.key())
+                    futures[pool.submit(exec_timed, cfg)] = cfg
                 retried: set = set()
                 pending = set(futures)
                 while pending:
@@ -599,10 +727,11 @@ def run_many(
                     for fut in finished:
                         cfg = futures.pop(fut)
                         try:
-                            result, seconds, digest = fut.result()
+                            result, seconds, digest, resources = fut.result()
                         except BrokenProcessPool:
                             raise  # pool is gone: fall back to serial below
                         except Exception as exc:
+                            batch.failed(cfg, cfg.key(), exc)
                             if cfg.key() in retried:
                                 pool.shutdown(wait=False, cancel_futures=True)
                                 raise RuntimeError(
@@ -617,7 +746,19 @@ def run_many(
                         COUNTERS.simulations += 1
                         results[cfg.key()] = result
                         done += 1
-                        manifest.record(cfg, "run", seconds, forensics=digest)
+                        manifest.record(
+                            cfg,
+                            "run",
+                            seconds,
+                            forensics=digest,
+                            resources=resources,
+                        )
+                        batch.finished(
+                            cfg,
+                            cfg.key(),
+                            resources,
+                            retried=cfg.key() in retried,
+                        )
                         _notify(progress, done, total, cfg, "run")
         except BrokenProcessPool as crash:
             # A worker died hard (signal/OOM): finish the remainder
@@ -625,14 +766,26 @@ def run_many(
             for cfg in misses:
                 if cfg.key() in results:
                     continue
-                result, seconds, digest = _retry_serial(cfg, crash, exec_timed)
+                batch.failed(cfg, cfg.key(), crash)
+                result, seconds, digest, resources = _retry_serial(
+                    cfg, crash, exec_timed
+                )
                 COUNTERS.simulations += 1
                 results[cfg.key()] = result
                 done += 1
-                manifest.record(cfg, "run", seconds, forensics=digest)
+                manifest.record(
+                    cfg, "run", seconds, forensics=digest, resources=resources
+                )
+                batch.finished(cfg, cfg.key(), resources, retried=True)
                 _notify(progress, done, total, cfg, "run")
 
     if use_cache:
         for cfg in misses:
+            t0 = time.perf_counter()
             _store(cfg, cfg.key(), results[cfg.key()])
+            batch.stored(cfg, cfg.key(), time.perf_counter() - t0)
+    batch.close(
+        manifest.to_dict(),
+        (cache_dir() / "manifests") if disk_cache_enabled() else None,
+    )
     return [results[cfg.key()] for cfg in configs]

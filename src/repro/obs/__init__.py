@@ -25,6 +25,12 @@ Shipped subscribers:
   accounting (:class:`~repro.obs.ledger.WastedWork`) behind
   ``repro inspect``.
 
+One level up, :mod:`~repro.obs.telemetry` watches the *fleet* instead of
+one simulator: run-level spans for every ``run_many`` batch, per-run
+resource accounting, a :class:`~repro.obs.telemetry.MetricsRegistry`
+(JSON / Prometheus snapshots), and the ``--live`` terminal dashboard.
+Same contract: zero cost while no session is installed.
+
 See ``docs/OBSERVABILITY.md`` for the workflow.
 """
 
@@ -66,6 +72,20 @@ from .ledger import (
     WastedWork,
 )
 from .probe import Probe
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LiveDashboard,
+    MetricError,
+    MetricsRegistry,
+    Span,
+    TelemetrySession,
+    current_session,
+    install,
+    session_scope,
+    uninstall,
+)
 from .trace_export import ChromeTraceExporter, JsonlTraceWriter
 from .tracer import TraceEvent, Tracer
 
@@ -80,6 +100,7 @@ __all__ = [
     "ChainInspector",
     "ChromeTraceExporter",
     "Commit",
+    "Counter",
     "DEFAULT_WINDOW",
     "DirForward",
     "DirInvRound",
@@ -88,14 +109,21 @@ __all__ = [
     "FallbackCommit",
     "FallbackSpan",
     "ForwardEdge",
+    "Gauge",
+    "Histogram",
     "IntervalMetrics",
     "JsonlTraceWriter",
+    "LiveDashboard",
+    "MetricError",
+    "MetricsRegistry",
     "MsgSent",
     "PicUpdate",
     "PowerElevate",
     "Probe",
     "ProbeEvent",
+    "Span",
     "SpecForward",
+    "TelemetrySession",
     "TraceEvent",
     "Tracer",
     "TxAttempt",
@@ -109,6 +137,10 @@ __all__ = [
     "WASTED_WORK_BUCKETS",
     "WastedWork",
     "attribute_aborts",
+    "current_session",
+    "install",
     "link_chains",
+    "session_scope",
     "timeline_rows",
+    "uninstall",
 ]

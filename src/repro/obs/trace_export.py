@@ -18,6 +18,7 @@ Two exporters ride the instrumentation bus:
 from __future__ import annotations
 
 import json
+import logging
 from typing import IO, Dict, List, Optional, Union
 
 from .events import (
@@ -26,6 +27,7 @@ from .events import (
     DirForward,
     DirInvRound,
     FallbackAcquire,
+    FallbackCommit,
     MsgSent,
     PicUpdate,
     PowerElevate,
@@ -84,6 +86,10 @@ class ChromeTraceExporter:
         self._events: List[Dict[str, object]] = []
         #: core -> cycle of the currently open transaction slice.
         self._open_tx: Dict[int, int] = {}
+        #: core -> cycle of the currently open fallback-serialized slice.
+        self._open_fb: Dict[int, int] = {}
+        #: event kind -> count of events with no rendering rule.
+        self._dropped: Dict[str, int] = {}
         self._cores_seen: set = set()
         self._directory_seen = False
         self._last_cycle = 0
@@ -118,6 +124,11 @@ class ChromeTraceExporter:
         """Trace entries buffered so far (excluding metadata)."""
         return len(self._events)
 
+    @property
+    def dropped_kinds(self) -> Dict[str, int]:
+        """Event kinds seen but not rendered, with occurrence counts."""
+        return dict(self._dropped)
+
     def _track(self, core: int) -> int:
         if core == _DIRECTORY:
             self._directory_seen = True
@@ -145,6 +156,8 @@ class ChromeTraceExporter:
             self._finish_tx(ev.core, ev.cycle, "commit", power=ev.power)
         elif isinstance(ev, Abort):
             self._finish_tx(ev.core, ev.cycle, "abort", reason=ev.reason)
+            if ev.reason == "capacity":
+                self._instant("capacity-abort", ev.cycle, ev.core)
         elif isinstance(ev, SpecForward):
             self._instant(
                 "forward", ev.cycle, ev.producer,
@@ -169,7 +182,28 @@ class ChromeTraceExporter:
         elif isinstance(ev, PicUpdate):
             self._instant("pic", ev.cycle, ev.core, value=ev.value, source=ev.source)
         elif isinstance(ev, FallbackAcquire):
-            self._instant("fallback-lock", ev.cycle, ev.core)
+            tid = self._track(ev.core)
+            # An acquire while a fallback slice is open closes it first.
+            if ev.core in self._open_fb:
+                self._add(
+                    name="fallback", ph="E", ts=ev.cycle, tid=tid,
+                    args={"outcome": "reacquired"},
+                )
+            self._open_fb[ev.core] = ev.cycle
+            self._add(name="fallback", ph="B", ts=ev.cycle, tid=tid)
+        elif isinstance(ev, FallbackCommit):
+            tid = self._track(ev.core)
+            if ev.core in self._open_fb:
+                del self._open_fb[ev.core]
+                self._add(
+                    name="fallback", ph="E", ts=ev.cycle, tid=tid,
+                    args={"outcome": "commit", "label": ev.label},
+                )
+            else:
+                # Commit without a recorded acquire: mark it instead.
+                self._instant(
+                    "fallback-commit", ev.cycle, ev.core, label=ev.label
+                )
         elif isinstance(ev, PowerElevate):
             self._instant("power-token", ev.cycle, ev.core)
         elif isinstance(ev, MsgSent):
@@ -187,6 +221,10 @@ class ChromeTraceExporter:
                 "dir-inv-round", ev.cycle, _DIRECTORY,
                 block=hex(ev.block), sharers=ev.sharers,
             )
+        else:
+            # Unknown kind (e.g. an event added after this exporter):
+            # count it so finalize() can warn instead of dropping silently.
+            self._dropped[ev.kind] = self._dropped.get(ev.kind, 0) + 1
 
     def _finish_tx(self, core: int, cycle: int, outcome: str, **args) -> None:
         tid = self._track(core)
@@ -202,12 +240,34 @@ class ChromeTraceExporter:
     # ------------------------------------------------------------------
     def finalize(self) -> Dict[str, object]:
         """Close dangling slices and return the trace_event payload."""
-        for core, _since in sorted(self._open_tx.items()):
+        # Per core, later-started slices must close first so B/E pairs
+        # stay properly nested (a tx opened inside a fallback section
+        # ends before the fallback slice does, and vice versa).
+        dangling = [
+            (core, start, "tx") for core, start in self._open_tx.items()
+        ] + [
+            (core, start, "fallback")
+            for core, start in self._open_fb.items()
+        ]
+        for core, _start, name in sorted(
+            dangling, key=lambda item: (item[0], -item[1])
+        ):
             self._add(
-                name="tx", ph="E", ts=self._last_cycle, tid=self._track(core),
-                args={"outcome": "unfinished"},
+                name=name, ph="E", ts=self._last_cycle,
+                tid=self._track(core), args={"outcome": "unfinished"},
             )
         self._open_tx.clear()
+        self._open_fb.clear()
+        if self._dropped:
+            logging.getLogger(__name__).warning(
+                "chrome trace export dropped %d event(s) with no "
+                "rendering rule: %s",
+                sum(self._dropped.values()),
+                ", ".join(
+                    f"{kind} x{count}"
+                    for kind, count in sorted(self._dropped.items())
+                ),
+            )
         meta: List[Dict[str, object]] = [
             {
                 "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,

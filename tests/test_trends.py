@@ -1,0 +1,197 @@
+"""Tests for the perf-history trend layer: ``repro.analysis.trends``,
+the ``repro trend`` CLI, and ``scripts/check_bench.py``'s directory
+mode (deterministic newest-report selection, empty-history error)."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.trends import (
+    TrendError,
+    format_trend,
+    load_history,
+    trend_dict,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+import check_bench  # noqa: E402
+
+
+def _report(rev: str, created: int, eps: dict, quick=False) -> dict:
+    return {
+        "schema": 1,
+        "rev": rev,
+        "created_unix": created,
+        "python": "3.11.9",
+        "quick": quick,
+        "repeat": 1,
+        "cases": {
+            key: {"events_per_sec": value} for key, value in eps.items()
+        },
+    }
+
+
+@pytest.fixture
+def history(tmp_path) -> Path:
+    directory = tmp_path / "history"
+    directory.mkdir()
+    series = [
+        ("aaa1111", 1_700_000_000, {"synth/chats/t8/s1/x4": 100_000,
+                                    "vacation/chats/t8/s1/x4": 50_000}),
+        ("bbb2222", 1_700_086_400, {"synth/chats/t8/s1/x4": 104_000,
+                                    "vacation/chats/t8/s1/x4": 52_000}),
+        ("ccc3333", 1_700_172_800, {"synth/chats/t8/s1/x4": 102_000,
+                                    "vacation/chats/t8/s1/x4": 20_000}),
+    ]
+    for rev, created, eps in series:
+        path = directory / f"BENCH_{rev}.json"
+        path.write_text(json.dumps(_report(rev, created, eps)))
+    return directory
+
+
+# ----------------------------------------------------------------------
+class TestLoadHistory:
+    def test_orders_by_created_then_filename(self, history):
+        reports = load_history(history)
+        assert [r["rev"] for r in reports] == ["aaa1111", "bbb2222", "ccc3333"]
+        assert all(r["_path"] for r in reports)
+
+    def test_created_ties_break_on_filename(self, tmp_path):
+        for rev in ("zzz", "aaa"):
+            (tmp_path / f"BENCH_{rev}.json").write_text(
+                json.dumps(_report(rev, 1_700_000_000, {"c": 1000}))
+            )
+        assert [r["rev"] for r in load_history(tmp_path)] == ["aaa", "zzz"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TrendError, match="does not exist"):
+            load_history(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(TrendError, match="no BENCH_"):
+            load_history(tmp_path)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{broken",
+            json.dumps([1, 2]),
+            json.dumps({"schema": 1, "rev": "x"}),
+            json.dumps(_report("x", 1, {"c": 0})),
+        ],
+        ids=["not-json", "not-object", "missing-keys", "zero-rate"],
+    )
+    def test_corrupt_report_fails_the_load(self, history, payload):
+        (history / "BENCH_bad.json").write_text(payload)
+        with pytest.raises(TrendError, match="corrupt report"):
+            load_history(history)
+
+
+# ----------------------------------------------------------------------
+class TestTrend:
+    def test_renders_every_report_and_case(self, history):
+        text = format_trend(load_history(history))
+        for rev in ("aaa1111", "bbb2222", "ccc3333"):
+            assert rev in text
+        assert "synth/chats/t8/s1/x4" in text
+        assert "vacation/chats/t8/s1/x4" in text
+
+    def test_flags_a_drop_beyond_tolerance(self, history):
+        trend = trend_dict(load_history(history))
+        (flag,) = trend["regressions"]
+        assert flag["case"] == "vacation/chats/t8/s1/x4"
+        assert flag["rev"] == "ccc3333"
+        assert flag["prev_rev"] == "bbb2222"
+        assert flag["delta"] == pytest.approx(-0.615, abs=0.001)
+        assert "regression flags" in format_trend(load_history(history))
+
+    def test_steady_history_is_clean(self, history):
+        reports = load_history(history)[:2]  # drop the regressing report
+        trend = trend_dict(reports)
+        assert trend["regressions"] == []
+        assert "no regressions flagged" in format_trend(reports)
+
+    def test_baseline_floor_flags_slow_cases(self, history):
+        baseline = {"cases": {"synth/chats/t8/s1/x4": 200_000}}
+        trend = trend_dict(load_history(history), baseline=baseline)
+        flagged = {f["case"] for f in trend["regressions"]}
+        assert "synth/chats/t8/s1/x4" in flagged
+        assert all(
+            f["below_baseline_floor"]
+            for f in trend["regressions"]
+            if f["case"] == "synth/chats/t8/s1/x4"
+        )
+
+    def test_tolerance_is_adjustable(self, history):
+        assert trend_dict(load_history(history), tolerance=0.99)[
+            "regressions"
+        ] == []
+
+
+# ----------------------------------------------------------------------
+class TestTrendCli:
+    def test_renders_and_exits_zero(self, history, capsys):
+        assert main(["trend", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "perf history" in out
+        assert "ccc3333" in out
+
+    def test_missing_history_exits_nonzero(self, tmp_path, capsys):
+        assert main(["trend", str(tmp_path / "nope")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_corrupt_report_exits_nonzero(self, history, capsys):
+        (history / "BENCH_bad.json").write_text("{broken")
+        assert main(["trend", str(history)]) == 1
+        assert "corrupt report" in capsys.readouterr().err
+
+    def test_strict_fails_on_regressions(self, history, capsys):
+        assert main(["trend", str(history), "--strict"]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_json_dump(self, history, tmp_path, capsys):
+        out = tmp_path / "trend.json"
+        assert main(["trend", str(history), "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-trend/1"
+        assert len(payload["reports"]) == 3
+
+    def test_committed_history_renders(self, capsys):
+        """The in-repo archive must always render (the bench CI job runs
+        this exact command on every push)."""
+        history = Path(__file__).resolve().parent.parent / (
+            "benchmarks/perf/history"
+        )
+        assert main(["trend", str(history)]) == 0
+        assert "perf history" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+class TestCheckBenchDirectoryMode:
+    def test_mtime_tie_breaks_on_filename(self, history, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"cases": {}}))
+        # Same mtime on every report: the lexicographically last filename
+        # must win deterministically.
+        for path in history.glob("BENCH_*.json"):
+            os.utime(path, (1_700_000_000, 1_700_000_000))
+        check_bench.main([str(history), "--baseline", str(baseline)])
+        assert "BENCH_ccc3333.json" in capsys.readouterr().out
+
+    def test_empty_history_errors_clearly(self, tmp_path, capsys):
+        empty = tmp_path / "history"
+        empty.mkdir()
+        assert check_bench.main([str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "empty history" in err
+        assert "repro bench" in err
+
+    def test_missing_report_file_errors(self, tmp_path, capsys):
+        assert check_bench.main([str(tmp_path / "BENCH_x.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
