@@ -8,9 +8,12 @@ the suite can be bisected to a subsystem without profiling first.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_micro.py [--repeat N]
+    PYTHONPATH=src python benchmarks/perf/bench_micro.py --backend compiled
 
 Each primitive reports operations per second, best of ``--repeat``
-timing loops.
+timing loops.  ``--backend`` selects the engine/message implementation
+under test (the same selection layer as ``repro run --backend``), so a
+compiled-vs-python primitive delta can be read off directly.
 """
 
 from __future__ import annotations
@@ -31,9 +34,9 @@ def timed(fn, n, repeat):
 
 def bench_engine_throughput(n):
     """Schedule + fire n self-rescheduling events (the run-loop cost)."""
-    from repro.sim.engine import Engine
+    from repro import accel
 
-    engine = Engine()
+    engine = accel.make_engine()
     remaining = [n]
 
     def tick():
@@ -47,17 +50,35 @@ def bench_engine_throughput(n):
 
 def bench_engine_schedule_cancel(n):
     """Arm-and-cancel churn (validation-timer pattern + compaction)."""
-    from repro.sim.engine import Engine
+    from repro import accel
 
-    engine = Engine()
+    engine = accel.make_engine()
     for _ in range(n):
         engine.schedule(100, lambda: None).cancel()
 
 
+def bench_engine_zero_delay(n):
+    """Same-cycle chain through the zero-delay lane (delivery bursts)."""
+    from repro import accel
+
+    engine = accel.make_engine()
+    remaining = [n]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.schedule(0, tick)
+
+    engine.schedule(1, tick)
+    engine.run()
+
+
 def bench_message_pool(n):
     """Construct + release pooled messages (one coherence hop's worth)."""
-    from repro.net.messages import DIRECTORY, Message, MessageKind
+    from repro import accel
+    from repro.net.messages import DIRECTORY, MessageKind
 
+    Message = accel.message_factory()
     for i in range(n):
         msg = Message(
             kind=MessageKind.GETS,
@@ -67,6 +88,26 @@ def bench_message_pool(n):
             epoch=1,
             req_id=i,
         )
+        msg.release()
+
+
+def bench_message_retain_release(n):
+    """Retain/release ownership churn (the handler-keeps-message path)."""
+    from repro import accel
+    from repro.net.messages import DIRECTORY, MessageKind
+
+    Message = accel.message_factory()
+    for i in range(n):
+        msg = Message(
+            kind=MessageKind.GETS,
+            src=0,
+            dst=DIRECTORY,
+            block=i & 0xFFFF,
+            epoch=1,
+            req_id=i,
+        )
+        msg.retain()
+        msg.release()
         msg.release()
 
 
@@ -118,7 +159,9 @@ def bench_probe_emit(n):
 BENCHES = (
     ("engine run loop (delay-1 chain)", bench_engine_throughput, 200_000),
     ("engine schedule+cancel churn", bench_engine_schedule_cancel, 200_000),
+    ("engine zero-delay lane chain", bench_engine_zero_delay, 200_000),
     ("message pool construct+release", bench_message_pool, 200_000),
+    ("message retain+release churn", bench_message_retain_release, 200_000),
     ("L1 cache hit lookup", bench_cache_hit, 500_000),
     ("speculative store write+read", bench_spec_store, 200_000),
     ("probe emit (one subscriber)", bench_probe_emit, 200_000),
@@ -128,7 +171,19 @@ BENCHES = (
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--backend",
+        choices=("python", "compiled", "lanes", "auto"),
+        default=None,
+        help="engine/message implementation under test "
+        "(default: $REPRO_BACKEND or python)",
+    )
     args = parser.parse_args(argv)
+    from repro import accel
+
+    if args.backend is not None:
+        accel.select_backend(args.backend)
+    print(f"backend: {accel.resolved_backend()}")
     for name, fn, n in BENCHES:
         rate = timed(fn, n, args.repeat)
         print(f"{name:<36s} {rate:>14,.0f} ops/s")

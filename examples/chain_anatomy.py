@@ -2,9 +2,9 @@
 """Anatomy of a forwarding chain: watch CHATS work, message by message.
 
 Builds a three-transaction producer→consumer→consumer scenario with the
-:class:`~repro.workloads.scripted.ScriptedWorkload` helper, hooks the
-interconnect to print every coherence message touching the contended
-block, and annotates the PiC values as the chain forms:
+:class:`~repro.workloads.scripted.ScriptedWorkload` helper, subscribes to
+the simulator's probe bus to print every coherence message touching the
+contended block, and annotates the PiC values as the chain forms:
 
 * T0 writes the block and lingers — it becomes the producer (PiC 15).
 * T1 reads it mid-transaction — the directory forwards the request to T0,
@@ -19,8 +19,8 @@ Usage::
     python examples/chain_anatomy.py
 """
 
-from repro.net.messages import DIRECTORY, MessageKind
-from repro.net.network import Crossbar
+from repro.net.messages import DIRECTORY
+from repro.obs.events import MsgSent
 from repro.sim.config import SystemConfig, SystemKind, table2_config
 from repro.sim.ops import Read, Txn, Work, Write
 from repro.sim.simulator import Simulator
@@ -69,32 +69,31 @@ def main() -> None:
     )
 
     hot_block = wl.space.geometry.block_of(HOT)
-    original_send = Crossbar.send
 
-    def traced_send(self, msg, *, extra_delay=0):
-        if msg.block == hot_block:
-            extras = []
-            if msg.pic is not None:
-                extras.append(f"PiC={msg.pic}")
-            if msg.kind is MessageKind.SPEC_RESP:
-                extras.append(f"data[0]={msg.data[0]}")
-            if msg.is_validation:
-                extras.append("validation")
-            if msg.action:
-                extras.append(msg.action)
-            print(
-                f"  cycle {sim.engine.now:5d}  "
-                f"{name_of(msg.src):>3s} -> {name_of(msg.dst):<3s} "
-                f"{msg.kind.value:<9s} {' '.join(extras)}"
-            )
-        original_send(self, msg, extra_delay=extra_delay)
+    # Every ``Crossbar.send`` — on any backend — emits a ``MsgSent``
+    # probe event, so a bus subscriber sees the complete traffic.
+    def trace_message(event) -> None:
+        if not isinstance(event, MsgSent) or event.block != hot_block:
+            return
+        extras = []
+        if event.pic is not None:
+            extras.append(f"PiC={event.pic}")
+        if event.is_validation:
+            extras.append("validation")
+        if event.action:
+            extras.append(event.action)
+        print(
+            f"  cycle {event.cycle:5d}  "
+            f"{name_of(event.src):>3s} -> {name_of(event.dst):<3s} "
+            f"{event.msg_kind:<9s} {' '.join(extras)}"
+        )
 
-    Crossbar.send = traced_send
+    sim.probe.subscribe(trace_message)
     try:
         print("Coherence traffic on the contended block:")
         result = sim.run()
     finally:
-        Crossbar.send = original_send
+        sim.probe.unsubscribe(trace_message)
 
     print()
     print(f"run finished at cycle {result.cycles}")

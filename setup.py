@@ -1,7 +1,55 @@
-"""Shim for environments without the ``wheel`` package (offline installs):
-``pip install -e . --no-build-isolation`` falls back to this legacy path.
-All real metadata lives in pyproject.toml.
-"""
-from setuptools import setup
+"""Build hooks for the optional compiled hot core.
 
-setup()
+All real metadata lives in pyproject.toml; this file only registers
+``repro.accel._hotcore`` as an *optional* C extension.  A missing
+compiler or failed compile downgrades the install to pure Python with a
+warning instead of erroring — the compiled backend is a performance
+feature, never a requirement (``repro.accel`` falls back at import
+time).  ``REPRO_SKIP_ACCEL=1`` skips the extension build entirely.
+"""
+
+import os
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """Best-effort build: compile failures warn instead of failing."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # toolchain missing entirely
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # compile/link error
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        import warnings
+
+        warnings.warn(
+            f"could not build the compiled hot core ({exc}); "
+            "falling back to the pure-Python backend",
+            RuntimeWarning,
+        )
+
+
+ext_modules = []
+cmdclass = {}
+if not os.environ.get("REPRO_SKIP_ACCEL"):
+    ext_modules = [
+        Extension(
+            "repro.accel._hotcore",
+            sources=["src/repro/accel/_hotcore.c"],
+            optional=True,
+        )
+    ]
+    cmdclass = {"build_ext": optional_build_ext}
+
+setup(ext_modules=ext_modules, cmdclass=cmdclass)

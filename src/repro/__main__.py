@@ -65,6 +65,13 @@ and parallelism flags: ``--workers N`` fans simulations out over N
 processes (default ``REPRO_WORKERS``), ``--cache-dir`` relocates the disk
 cache (default ``.repro_cache``, env ``REPRO_CACHE_DIR``), and
 ``--no-cache`` disables the disk cache for the invocation.
+
+``run``, ``report``, and ``bench`` take ``--backend
+{python,compiled,lanes,auto}`` to select the simulation backend (default
+``$REPRO_BACKEND`` or pure Python); ``compiled`` uses the C hot core
+built by ``scripts/build_accel.py``, ``lanes`` batches seed-sibling
+sweeps, and every backend produces byte-identical results (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -118,6 +125,7 @@ def _apply_runner_flags(
     args: argparse.Namespace, progress=None
 ) -> None:
     """Propagate the shared cache/parallelism flags to the runner."""
+    _apply_backend_flag(args)
     if getattr(args, "scale", None) is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
     if getattr(args, "workers", None) is not None:
@@ -127,6 +135,15 @@ def _apply_runner_flags(
         disk_cache=False if getattr(args, "no_cache", False) else None,
         progress=progress if progress is not None else _progress_printer,
     )
+
+
+def _apply_backend_flag(args: argparse.Namespace) -> None:
+    """Select the simulation backend for ``--backend`` (or leave the
+    ``REPRO_BACKEND`` environment selection untouched without it)."""
+    if getattr(args, "backend", None) is not None:
+        from . import accel
+
+        accel.select_backend(args.backend)
 
 
 @contextlib.contextmanager
@@ -437,6 +454,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from .experiments import bench
 
+    _apply_backend_flag(args)
+
     def progress(key: str) -> None:
         print(f"  [bench] {key}", file=sys.stderr)
 
@@ -547,6 +566,16 @@ def build_parser() -> argparse.ArgumentParser:
         ".repro_cache)",
     )
 
+    backend_flags = argparse.ArgumentParser(add_help=False)
+    backend_flags.add_argument(
+        "--backend",
+        choices=("python", "compiled", "lanes", "auto"),
+        default=None,
+        help="simulation backend: pure Python (default), the compiled hot "
+        "core, numpy seed-lane batching, or auto (fastest available; "
+        "falls back to python with a warning).  Overrides $REPRO_BACKEND",
+    )
+
     telemetry_flags = argparse.ArgumentParser(add_help=False)
     telemetry_flags.add_argument(
         "--telemetry",
@@ -577,7 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_run = sub.add_parser(
-        "run", help="run one workload", parents=[cache_flags, telemetry_flags]
+        "run",
+        help="run one workload",
+        parents=[cache_flags, telemetry_flags, backend_flags],
     )
     p_run.add_argument("workload", choices=workload_names())
     p_run.add_argument(
@@ -723,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench",
         help="run the pinned performance regression suite",
+        parents=[backend_flags],
         description=(
             "Run the pinned benchmark cases (fixed workload/threads/seed/"
             "scale, so simulated work is identical across revisions), "
@@ -811,7 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser(
         "report",
         help="regenerate the entire evaluation (all figures)",
-        parents=[cache_flags, telemetry_flags],
+        parents=[cache_flags, telemetry_flags, backend_flags],
     )
     p_rep.add_argument("--scale", type=float, default=None)
     p_rep.add_argument(

@@ -1,0 +1,121 @@
+"""Numpy-batched multi-seed lane executor for ``run_many``.
+
+The ``lanes`` backend targets the sweep shape that dominates the
+reproduction's workloads: many runs of the *same* configuration that
+differ only in seed (confidence intervals, seed sensitivity, Pareto
+sweeps).  Dispatching each run as its own pool task pays per-task
+pickling, process wake-up, and result-marshalling overhead; a *lane*
+groups up to ``REPRO_LANE_WIDTH`` (default 8) seed-siblings into one
+task and advances them back-to-back inside the worker, so that overhead
+is paid once per lane instead of once per run.
+
+Inside each simulation the fastest available core is used — the
+compiled ``_hotcore`` engine when built, pure Python otherwise — and
+the per-run results are *identical* to the other backends (the golden
+suite runs parametrized over ``lanes`` too).  What changes is only the
+executor shape, plus per-lane resource statistics folded with numpy and
+attached to every run's resource sample under ``"lane"``.
+
+This module is imported inside worker processes; keep it import-light
+(numpy and the runner are imported lazily, inside functions).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+LANE_WIDTH_ENV = "REPRO_LANE_WIDTH"
+DEFAULT_LANE_WIDTH = 8
+
+
+def lane_width() -> int:
+    """Configured lane width (≥1): seeds advanced per worker task."""
+    return max(1, int(os.environ.get(LANE_WIDTH_ENV, str(DEFAULT_LANE_WIDTH))))
+
+
+def seedless_key(cfg) -> str:
+    """Grouping key: the run configuration with the seed erased.
+
+    Two configs with the same seedless key are seed-siblings and may
+    share a lane.  Derived from the content-addressed key machinery so
+    any outcome-relevant field keeps configs apart.
+    """
+    import dataclasses
+
+    return dataclasses.replace(cfg, seed=0).key()
+
+
+def group_into_lanes(configs: Sequence, width: int = 0) -> List[List]:
+    """Partition ``configs`` into lanes of seed-siblings.
+
+    First-occurrence order is preserved both across groups and within a
+    lane, so manifest/progress ordering matches the other backends.
+    Configs without siblings still ride (singleton) lanes — uniform
+    handling keeps the executor's bookkeeping single-path.
+    """
+    width = width or lane_width()
+    groups: Dict[str, List] = {}
+    order: List[str] = []
+    for cfg in configs:
+        key = seedless_key(cfg)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cfg)
+    lanes: List[List] = []
+    for key in order:
+        group = groups[key]
+        for start in range(0, len(group), width):
+            lanes.append(group[start : start + width])
+    return lanes
+
+
+def fold_lane_resources(resources: List[Dict[str, object]]) -> Dict[str, object]:
+    """Lane-level statistics folded with numpy from the per-run samples.
+
+    Returned once per lane and attached to each member's resource dict
+    so the manifest can attribute batching wins per lane.
+    """
+    import numpy as np
+
+    events = np.array([int(r.get("events", 0)) for r in resources], dtype=np.int64)
+    wall = np.array(
+        [float(r.get("wall_seconds", 0.0)) for r in resources], dtype=np.float64
+    )
+    cpu = np.array(
+        [float(r.get("cpu_seconds", 0.0)) for r in resources], dtype=np.float64
+    )
+    wall_total = float(wall.sum())
+    return {
+        "width": len(resources),
+        "events_total": int(events.sum()),
+        "wall_seconds_total": round(wall_total, 6),
+        "cpu_seconds_total": round(float(cpu.sum()), 6),
+        "events_per_sec_lane": (
+            round(float(events.sum()) / wall_total, 3) if wall_total > 0 else 0.0
+        ),
+        "wall_seconds_mean": round(float(wall.mean()), 6) if len(wall) else 0.0,
+        "wall_seconds_max": round(float(wall.max()), 6) if len(wall) else 0.0,
+    }
+
+
+def execute_lane(configs: Sequence, forensics: bool = False) -> List[tuple]:
+    """Worker-process entry point: run every config in the lane.
+
+    Returns one :data:`repro.experiments.runner.ExecOutcome` per config,
+    in lane order, with the folded lane statistics attached to each
+    outcome's resource sample.  Any member's failure fails the whole
+    lane (the parent retries members serially, preserving the
+    retry-once contract per config).
+    """
+    from ..experiments import runner
+
+    exec_timed = (
+        runner._execute_forensic_timed if forensics else runner._execute_timed
+    )
+    outcomes = [exec_timed(cfg) for cfg in configs]
+    lane_stats = fold_lane_resources([o[3] for o in outcomes])
+    for index, (result, seconds, digest, resources) in enumerate(outcomes):
+        resources["lane"] = dict(lane_stats, index=index)
+    return [tuple(o) for o in outcomes]

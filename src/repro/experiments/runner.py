@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from .. import accel
 from ..obs import telemetry as fleet
 from ..sim.config import HTMConfig, table2_config
 from ..systems.spec import SystemSpec, get_spec
@@ -290,6 +291,10 @@ class RunManifest:
     """
 
     entries: List[ManifestEntry] = field(default_factory=list)
+    #: The execution backend resolved when the batch started — recorded
+    #: so ``repro trend`` and the manifest archive can attribute
+    #: throughput jumps to backend changes rather than code changes.
+    backend: str = field(default_factory=accel.resolved_backend)
 
     @property
     def cached(self) -> int:
@@ -357,6 +362,7 @@ class RunManifest:
         return {
             "cached": self.cached,
             "run": self.executed,
+            "backend": self.backend,
             "total_seconds": round(self.total_seconds, 6),
             "events_simulated": self.events_simulated,
             "cpu_seconds": round(self.cpu_seconds, 6),
@@ -484,6 +490,10 @@ def _worker_resources(
         "events_per_sec": (
             round(result.events / wall_seconds, 3) if wall_seconds > 0 else 0.0
         ),
+        # Resolved in the process that actually simulated, so a pool
+        # worker reports what really executed (workers inherit the
+        # selection through REPRO_BACKEND).
+        "backend": accel.resolved_backend(),
     }
 
 
@@ -655,7 +665,12 @@ def run_many(
     unique: Dict[str, RunConfig] = {}
     for cfg in configs:
         unique.setdefault(cfg.key(), cfg)
-    batch.open(configs=len(configs), unique=len(unique), workers=workers)
+    batch.open(
+        configs=len(configs),
+        unique=len(unique),
+        workers=workers,
+        backend=manifest.backend,
+    )
 
     results: Dict[str, SimulationResult] = {}
     misses: List[RunConfig] = []
@@ -688,7 +703,79 @@ def run_many(
         else:
             misses.append(cfg)
 
-    if workers <= 1 or len(misses) <= 1:
+    def _record_lane(lane, outcomes, retried_lane):
+        nonlocal done
+        for cfg, outcome in zip(lane, outcomes):
+            result, seconds, digest, resources = outcome
+            COUNTERS.simulations += 1
+            results[cfg.key()] = result
+            done += 1
+            manifest.record(
+                cfg, "run", seconds, forensics=digest, resources=resources
+            )
+            batch.finished(cfg, cfg.key(), resources, retried=retried_lane)
+            _notify(progress, done, total, cfg, "run")
+
+    if manifest.backend == "lanes" and len(misses) > 1:
+        # Lane executor: seed-sibling configs share one task each,
+        # amortizing dispatch/pickling overhead across the lane.  A lane
+        # failure retries its members serially (retry-once per config).
+        # With one worker (or a single lane) the lanes run in-process —
+        # batching semantics and lane statistics stay identical either
+        # way, only the dispatch differs.
+        from ..accel import lanes as lanes_mod
+
+        lanes = lanes_mod.group_into_lanes(misses)
+        if workers <= 1 or len(lanes) <= 1:
+            for lane in lanes:
+                for cfg in lane:
+                    batch.submitted(cfg, cfg.key())
+                try:
+                    outcomes = lanes_mod.execute_lane(lane, forensics)
+                except Exception as exc:
+                    outcomes = []
+                    for cfg in lane:
+                        batch.failed(cfg, cfg.key(), exc)
+                        outcomes.append(_retry_serial(cfg, exc, exec_timed))
+                    retried_lane = True
+                else:
+                    retried_lane = False
+                _record_lane(lane, outcomes, retried_lane)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(lanes))
+            ) as pool:
+                lane_futures = {}
+                for lane in lanes:
+                    for cfg in lane:
+                        batch.submitted(cfg, cfg.key())
+                    lane_futures[
+                        pool.submit(lanes_mod.execute_lane, lane, forensics)
+                    ] = lane
+                pending = set(lane_futures)
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for fut in finished:
+                        lane = lane_futures.pop(fut)
+                        try:
+                            outcomes = fut.result()
+                        except Exception as exc:
+                            # Includes a BrokenProcessPool: every
+                            # remaining lane future then fails the same
+                            # way and its members finish serially here.
+                            outcomes = []
+                            for cfg in lane:
+                                batch.failed(cfg, cfg.key(), exc)
+                                outcomes.append(
+                                    _retry_serial(cfg, exc, exec_timed)
+                                )
+                            retried_lane = True
+                        else:
+                            retried_lane = False
+                        _record_lane(lane, outcomes, retried_lane)
+    elif workers <= 1 or len(misses) <= 1:
         for cfg in misses:
             key = cfg.key()
             batch.submitted(cfg, key)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
+from .. import accel
 from ..net.messages import DIRECTORY, Message, MessageKind
 from ..net.network import Crossbar
 from ..obs.events import DirForward, DirInvRound
@@ -71,6 +72,7 @@ class Directory:
         "_blocks",
         "_ever_cached",
         "_handlers",
+        "_Message",
         "requests",
         "forwards",
         "inv_rounds",
@@ -93,6 +95,7 @@ class Directory:
         self._probe = probe if probe is not None else Probe()
         self._blocks: Dict[int, _BlockEntry] = {}
         self._ever_cached: Set[int] = set()
+        self._Message = accel.message_factory()
         # Statistics.
         self.requests = 0
         self.forwards = 0
@@ -224,7 +227,7 @@ class Directory:
 
     def _forward(self, kind: MessageKind, dst: int, req: Message) -> Message:
         """Build a probe carrying the requester's identity and chain info."""
-        return Message(
+        return self._Message(
             kind=kind,
             src=DIRECTORY,
             dst=dst,
@@ -251,7 +254,7 @@ class Directory:
         entry.sharers.add(msg.src)
         entry.busy = True
         self._network.send(
-            Message(
+            self._Message(
                 kind=MessageKind.DATA,
                 src=DIRECTORY,
                 dst=msg.src,
@@ -268,7 +271,7 @@ class Directory:
         entry.sharers = set()
         entry.busy = True  # until the grantee's 'recv' unblock
         self._network.send(
-            Message(
+            self._Message(
                 kind=MessageKind.DATA_E,
                 src=DIRECTORY,
                 dst=msg.src,
@@ -302,7 +305,7 @@ class Directory:
             # The holder no longer has the block; satisfy the original
             # request from memory (non-speculative data, Section III).
             entry.owner = None
-            original = Message(
+            original = self._Message(
                 kind=MessageKind.GETS if not msg.exclusive else MessageKind.GETX,
                 src=msg.requester,
                 dst=DIRECTORY,

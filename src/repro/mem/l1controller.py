@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
+from .. import accel
 from ..core.policies import ConflictPolicy, Resolution
 from ..htm.fallback import OwnershipTable
 from ..htm.signature import FootprintOverflow
@@ -111,6 +112,7 @@ class L1Controller:
         "_hit_latency",
         "_send",
         "_schedule",
+        "_Message",
     )
 
     _req_ids = itertools.count(1)
@@ -156,6 +158,7 @@ class L1Controller:
         self._hit_latency = config.l1_hit_latency
         self._send = network.send
         self._schedule = engine.schedule
+        self._Message = accel.message_factory()
         #: Set lazily by the simulator after cores are built.
         self.core: "Core" = None  # type: ignore[assignment]
         # Dense dispatch table indexed by ``MessageKind.idx``.
@@ -205,7 +208,7 @@ class L1Controller:
         req_id = next(self._req_ids)
         self._outstanding[req_id] = out
         tx = self._tx() if not non_transactional else None
-        msg = Message(
+        msg = self._Message(
             kind=kind,
             src=self.core_id,
             dst=DIRECTORY,
@@ -264,7 +267,7 @@ class L1Controller:
             # Notify the directory for owned victims so it does not keep
             # forwarding to us; shared victims are evicted silently.
             self._send(
-                Message(
+                self._Message(
                     kind=MessageKind.WRITEBACK,
                     src=self.core_id,
                     dst=DIRECTORY,
@@ -480,7 +483,7 @@ class L1Controller:
                     )
                 )
             self._send(
-                Message(
+                self._Message(
                     kind=MessageKind.SPEC_RESP,
                     src=self.core_id,
                     dst=msg.requester,
@@ -500,7 +503,7 @@ class L1Controller:
         if outcome.resolution is Resolution.NACK:
             tx.mark_conflicted()
             self._send(
-                Message(
+                self._Message(
                     kind=MessageKind.NACK,
                     src=self.core_id,
                     dst=msg.requester,
@@ -545,7 +548,7 @@ class L1Controller:
 
     def _respond_data(self, probe: Message, kind: MessageKind, data) -> None:
         self._send(
-            Message(
+            self._Message(
                 kind=kind,
                 src=self.core_id,
                 dst=probe.requester,
@@ -558,7 +561,7 @@ class L1Controller:
 
     def _unblock(self, probe: Message, action: str) -> None:
         self._send(
-            Message(
+            self._Message(
                 kind=MessageKind.UNBLOCK,
                 src=self.core_id,
                 dst=DIRECTORY,
@@ -573,7 +576,7 @@ class L1Controller:
 
     def _cancel(self, probe: Message) -> None:
         self._send(
-            Message(
+            self._Message(
                 kind=MessageKind.CANCEL,
                 src=self.core_id,
                 dst=DIRECTORY,
@@ -586,7 +589,7 @@ class L1Controller:
 
     def _ack_inv(self, probe: Message, action: str) -> None:
         self._send(
-            Message(
+            self._Message(
                 kind=MessageKind.ACK,
                 src=self.core_id,
                 dst=DIRECTORY,
@@ -608,7 +611,7 @@ class L1Controller:
             # acknowledgement — sent unconditionally, even for responses
             # addressed to a rolled-back attempt.
             self._send(
-                Message(
+                self._Message(
                     kind=MessageKind.UNBLOCK,
                     src=self.core_id,
                     dst=DIRECTORY,

@@ -421,7 +421,8 @@ class NullBatch:
 
     __slots__ = ()
 
-    def open(self, *, configs: int, unique: int, workers: int) -> None:
+    def open(self, *, configs: int, unique: int, workers: int,
+             backend: str = "python") -> None:
         pass
 
     def probe(self, cfg, key: str, *, outcome: str, layer: str,
@@ -459,9 +460,14 @@ class RunBatch(NullBatch):
         self._submits: Dict[str, Span] = {}
         self._retries: Dict[str, Span] = {}
 
-    def open(self, *, configs: int, unique: int, workers: int) -> None:
+    def open(self, *, configs: int, unique: int, workers: int,
+             backend: str = "python") -> None:
         self._root = self._session.begin(
-            "run_many", configs=configs, unique=unique, workers=workers
+            "run_many",
+            configs=configs,
+            unique=unique,
+            workers=workers,
+            backend=backend,
         )
         m = self._session.metrics
         m.counter(

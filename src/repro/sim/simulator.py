@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional
 
+from .. import accel
 from ..core.policies import make_policy
 from ..htm.fallback import FallbackLock, OwnershipTable
 from ..htm.power import PowerTokenManager
@@ -19,7 +20,6 @@ from ..obs.probe import Probe
 from ..systems.spec import SystemSpec
 from .config import HTMConfig, SystemConfig, table2_config
 from .core import Core
-from .engine import Engine
 from .results import SimulationResult
 
 
@@ -45,7 +45,10 @@ class Simulator:
                 f"machine has {self.config.num_cores} cores"
             )
 
-        self.engine = Engine()
+        # The selected backend decides the hot core: the compiled C
+        # engine or the pure-Python ``Engine``.  Both produce identical
+        # event orders (the golden suite is parametrized over backends).
+        self.engine = accel.make_engine()
         #: Instrumentation bus: subscribers see every probe event of this
         #: simulator (and only this one); inert while nobody listens.
         self.probe = Probe()
@@ -97,6 +100,16 @@ class Simulator:
         # Python's negative indexing.
         self._dst_handlers = [l1.handle for l1 in self.l1s]
         self._dst_handlers.append(self.directory.handle)
+        # Wire the delivery callback now that the handler tables exist:
+        # the compiled dense router (dst -> kind -> handler -> release,
+        # one C call) when the compiled backend is active, else _route.
+        self.network.finalize_deliver(
+            accel.make_router(
+                [l1._handlers for l1 in self.l1s]
+                + [self.directory._handlers],
+                self._route,
+            )
+        )
 
         self._timestamps = itertools.count(1)
         self._finished = 0

@@ -35,6 +35,27 @@ CASES = [
 ]
 
 
+#: Every selectable backend must reproduce the same digests ("auto" is
+#: just an alias for one of these).  Unbuilt/unavailable backends skip
+#: cleanly so the suite passes on a pure-Python checkout.
+BACKENDS = ("python", "compiled", "lanes")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    from repro import accel
+
+    name = request.param
+    if name == "compiled" and not accel.compiled_available():
+        pytest.skip(
+            "compiled backend not built (scripts/build_accel.py)"
+        )
+    if name == "lanes" and not accel.lanes_available():
+        pytest.skip("lanes backend needs numpy")
+    with accel.use(name):
+        yield name
+
+
 def test_matrix_matches_checked_in_digests():
     """The checked-in file covers exactly the generator's matrix."""
     expected = {gen_golden.case_key(w, sy, se) for (w, sy, se) in CASES}
@@ -46,12 +67,12 @@ def test_matrix_matches_checked_in_digests():
     CASES,
     ids=[gen_golden.case_key(w, sy, se) for (w, sy, se) in CASES],
 )
-def test_digest_is_golden(workload, system, seed):
+def test_digest_is_golden(backend, workload, system, seed):
     result = gen_golden.run_case(workload, system, seed)
     digest = gen_golden.result_digest(result)
     key = gen_golden.case_key(workload, system, seed)
     assert digest == GOLDEN[key], (
-        f"behavioural drift in {key}: digest {digest[:12]} != golden "
-        f"{GOLDEN[key][:12]} — if this change is intentional, regenerate "
-        f"with scripts/gen_golden.py --write"
+        f"behavioural drift in {key} under the {backend} backend: digest "
+        f"{digest[:12]} != golden {GOLDEN[key][:12]} — if this change is "
+        f"intentional, regenerate with scripts/gen_golden.py --write"
     )
