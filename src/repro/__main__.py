@@ -45,6 +45,15 @@ Subcommands:
       python -m repro trend
       python -m repro trend benchmarks/perf/history --json trend.json
 
+* ``cache`` — inspect and maintain the on-disk result store:
+  ``stats`` (``--json`` emits the ``repro-store/1`` document),
+  ``verify``, ``compact``, ``gc SIZE``, and ``migrate`` (legacy
+  one-JSON-per-result cache -> sharded store, verified in place)::
+
+      python -m repro cache stats --json
+      python -m repro cache migrate
+      python -m repro cache gc 512M
+
 * ``list`` — list registered workloads, systems, and experiments.
 
 ``run`` and ``report`` also take the fleet-telemetry flags:
@@ -63,8 +72,10 @@ per-``W``-cycle activity table from the run's interval metrics.
 ``run``, ``figure``, and ``report`` share the experiment runner's cache
 and parallelism flags: ``--workers N`` fans simulations out over N
 processes (default ``REPRO_WORKERS``), ``--cache-dir`` relocates the disk
-cache (default ``.repro_cache``, env ``REPRO_CACHE_DIR``), and
-``--no-cache`` disables the disk cache for the invocation.
+cache (default ``.repro_cache``, env ``REPRO_CACHE_DIR``), ``--no-cache``
+disables the disk cache for the invocation, and ``--store
+{legacy,sharded,auto}`` picks the result-store backend (env
+``REPRO_STORE``; see docs/ARCHITECTURE.md).
 
 ``run``, ``report``, and ``bench`` take ``--backend
 {python,compiled,lanes,auto}`` to select the simulation backend (default
@@ -82,6 +93,7 @@ import os
 import sys
 
 from . import all_system_kinds, workload_names
+from . import store as store_pkg
 from .experiments import runner
 from .experiments.registry import EXPERIMENTS, experiment_configs
 from .experiments.figures import FIGURES, run_figure
@@ -126,6 +138,8 @@ def _apply_runner_flags(
 ) -> None:
     """Propagate the shared cache/parallelism flags to the runner."""
     _apply_backend_flag(args)
+    if getattr(args, "store", None) is not None:
+        store_pkg.select_store(args.store)
     if getattr(args, "scale", None) is not None:
         os.environ["REPRO_SCALE"] = str(args.scale)
     if getattr(args, "workers", None) is not None:
@@ -377,11 +391,56 @@ def _collect(args: argparse.Namespace, system: str):
 def cmd_inspect(args: argparse.Namespace) -> int:
     import json
 
-    report = _collect(args, args.system)
-    print(report.render())
+    from .analysis.forensics import (
+        FORENSICS_SCHEMA,
+        forensics_store_key,
+        render_document,
+    )
+
+    _apply_runner_flags(args)
+    spec = _system_from_name(args.system)
+    # A forensic document is fully determined by its parameters and the
+    # code fingerprint, so serve repeat inspections from the result
+    # store.  --fresh forces a re-run; --html needs the live report.
+    use_store = (
+        not args.fresh
+        and args.html is None
+        and runner.disk_cache_enabled()
+    )
+    store = runner.result_store() if use_store else None
+    key = (
+        forensics_store_key(
+            args.workload,
+            spec.name,
+            threads=args.threads,
+            seed=args.seed,
+            scale=args.scale,
+        )
+        if use_store
+        else None
+    )
+    doc = None
+    if store is not None:
+        doc = store.get_json(key)
+        if doc is not None and doc.get("schema") != FORENSICS_SCHEMA:
+            store.note_corrupt(key, "forensics document schema mismatch")
+            doc = None
+    report = None
+    if doc is None:
+        report = _collect(args, args.system)
+        doc = report.to_dict()
+        if store is not None:
+            try:
+                store.put_json(key, doc)
+            except OSError:
+                pass
+    else:
+        print(f"  [inspect] cached report ({store.kind} store; "
+              "--fresh re-runs)", file=sys.stderr)
+    print(render_document(doc))
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(doc, fh, indent=2, sort_keys=True)
         print(f"\njson             : {args.json}")
     if args.html is not None:
         with open(args.html, "w", encoding="utf-8") as fh:
@@ -413,6 +472,100 @@ def cmd_figure(args: argparse.Namespace) -> int:
     result = run_figure(args.figure)
     print(result.rendering)
     return 0
+
+
+def _parse_size(text: str) -> int:
+    """``512M``-style sizes for ``cache gc`` (plain bytes, K/M/G suffix)."""
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    text = text.strip().upper()
+    mult = 1
+    if text and text[-1] in units:
+        mult = units[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (want bytes or K/M/G suffix)"
+        ) from None
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    _apply_runner_flags(args)
+    root = runner.cache_dir()
+
+    if args.action == "migrate":
+        from .store.migrate import MigrationError, migrate_cache
+
+        def progress(i: int, total: int, key: str) -> None:
+            print(f"  [migrate] {i}/{total} {key}", file=sys.stderr)
+
+        try:
+            summary = migrate_cache(
+                root,
+                keep_legacy=args.keep_legacy,
+                progress=progress if args.verbose else None,
+            )
+        except MigrationError as exc:
+            print(f"migrate: {exc}", file=sys.stderr)
+            return 1
+        if not summary["was_legacy_layout"]:
+            print(f"migrate          : {root} is not a legacy cache "
+                  "(nothing to do)")
+            return 0
+        print(f"migrate          : {root} -> sharded store")
+        print(f"  entries          {summary['entries']}")
+        print(f"  migrated         {summary['migrated']} "
+              f"(verified {summary['verified']}, "
+              f"skipped {summary['skipped']})")
+        print(f"  bytes migrated   {summary['bytes_migrated']:,}")
+        print(f"  legacy removed   {summary['legacy_files_removed']} "
+              f"file(s){' (kept: --keep-legacy)' if args.keep_legacy else ''}")
+        return 0
+
+    store = runner.result_store()
+    if args.action == "stats":
+        doc = store.stats()
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"store            : {store.kind} at {root}")
+        print(f"  entries          {doc['entries']}")
+        print(f"  shards           {doc['shards']}")
+        print(f"  segments         {doc['segments']}")
+        print(f"  logical bytes    {doc['logical_bytes']:,}")
+        print(f"  physical bytes   {doc['physical_bytes']:,}")
+        for ns, count in sorted(doc["namespaces"].items()):
+            print(f"  ns {ns:<14s} {count}")
+        return 0
+
+    if args.action == "verify":
+        problems = store.verify()
+        for problem in problems:
+            print(f"  {problem}")
+        status = f"{len(problems)} problem(s)" if problems else "clean"
+        print(f"verify           : {store.kind} store at {root} — {status}")
+        return 1 if problems else 0
+
+    if args.action == "compact":
+        summary = store.compact()
+        print(f"compact          : {store.kind} store at {root}")
+        for k, v in sorted(summary.items()):
+            print(f"  {k:<16s} {v:,}" if isinstance(v, int)
+                  else f"  {k:<16s} {v}")
+        return 0
+
+    if args.action == "gc":
+        evicted = store.gc(args.max_bytes)
+        print(f"gc               : evicted {len(evicted)} entries to fit "
+              f"{args.max_bytes:,} bytes")
+        for key in evicted:
+            print(f"  {key}")
+        return 0
+
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -565,6 +718,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk cache location (default: $REPRO_CACHE_DIR or "
         ".repro_cache)",
     )
+    cache_flags.add_argument(
+        "--store",
+        choices=store_pkg.STORES,
+        default=None,
+        help="result-store backend: the sharded segment store, the "
+        "legacy one-JSON-per-result layout, or auto (existing legacy "
+        "caches stay legacy, everything else sharded).  Overrides "
+        "$REPRO_STORE",
+    )
 
     backend_flags = argparse.ArgumentParser(add_help=False)
     backend_flags.add_argument(
@@ -696,6 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect",
         help="forensic report for one run: causal abort attribution, "
         "cascades, chains, wasted work",
+        parents=[cache_flags],
     )
     p_insp.add_argument("workload", choices=workload_names())
     p_insp.add_argument(
@@ -715,7 +878,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--html",
         default=None,
         metavar="FILE",
-        help="also write a self-contained HTML report",
+        help="also write a self-contained HTML report (forces a fresh "
+        "simulation)",
+    )
+    p_insp.add_argument(
+        "--fresh",
+        action="store_true",
+        help="re-simulate even when the result store holds a cached "
+        "forensic document for these parameters",
     )
     p_insp.set_defaults(fn=cmd_inspect)
 
@@ -789,6 +959,70 @@ def build_parser() -> argparse.ArgumentParser:
         "BENCH_<rev>.json in a source checkout, else ./BENCH_<rev>.json)",
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the on-disk result store",
+        description=(
+            "Operate on the result store under the cache directory: "
+            "print a repro-store/1 stats document, read back every entry "
+            "(verify), reclaim dead segment space (compact), evict "
+            "least-recently-read entries to a byte budget (gc), or "
+            "convert a legacy one-JSON-per-result cache to the sharded "
+            "layout in place with a verified round-trip (migrate)."
+        ),
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    c_stats = cache_sub.add_parser(
+        "stats",
+        help="entry/shard/segment counts and byte totals",
+        parents=[cache_flags],
+    )
+    c_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-store/1 stats document as JSON "
+        "(validate with scripts/check_store.py)",
+    )
+    c_verify = cache_sub.add_parser(
+        "verify",
+        help="read back every entry; exit 1 on any corruption",
+        parents=[cache_flags],
+    )
+    c_compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite segments without dead records; sweep tmp litter",
+        parents=[cache_flags],
+    )
+    c_gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-read entries to fit a byte budget",
+        parents=[cache_flags],
+    )
+    c_gc.add_argument(
+        "max_bytes",
+        type=_parse_size,
+        metavar="SIZE",
+        help="target payload footprint: bytes or K/M/G suffix (e.g. 512M)",
+    )
+    c_migrate = cache_sub.add_parser(
+        "migrate",
+        help="convert a legacy cache to the sharded layout in place",
+        parents=[cache_flags],
+    )
+    c_migrate.add_argument(
+        "--keep-legacy",
+        action="store_true",
+        help="leave the legacy files in place after the verified copy "
+        "(default: remove them)",
+    )
+    c_migrate.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each migrated key",
+    )
+    for sp in (c_stats, c_verify, c_compact, c_gc, c_migrate):
+        sp.set_defaults(fn=cmd_cache)
 
     p_list = sub.add_parser("list", help="list workloads/systems/experiments")
     p_list.set_defaults(fn=cmd_list)

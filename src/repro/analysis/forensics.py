@@ -102,110 +102,13 @@ class ForensicReport:
 
     # ------------------------------------------------------------------
     def render(self) -> str:
-        """Aligned terminal rendering of the full report."""
-        title = (
-            f"Forensics — {self.workload}/{self.system} "
-            f"(threads={self.threads} seed={self.seed} scale={self.scale})"
-        )
-        lines = [title, "=" * len(title)]
-        lines.append(
-            f"cycles={self.cycles:,}  attempts={self.attempts}  "
-            f"commits={self.commits} (+{self.fallback_commits} fallback)  "
-            f"aborts={self.aborts}  forwards={self.forwards}"
-        )
-        lines.append("")
-        lines.extend(self._render_attribution())
-        lines.append("")
-        lines.extend(self._render_cascades())
-        lines.append("")
-        lines.extend(self._render_chains())
-        lines.append("")
-        lines.extend(self._render_wasted())
-        if self.gauge_mismatches:
-            lines.append("")
-            lines.append(
-                "WARNING: ledger buckets disagree with the simulator's "
-                f"cycle gauges: {self.gauge_mismatches}"
-            )
-        return "\n".join(lines)
+        """Aligned terminal rendering of the full report.
 
-    def _render_attribution(self) -> List[str]:
-        rep = self.attribution
-        lines = [
-            f"abort attribution ({rep.attributed}/{rep.total} attributed, "
-            f"{rep.attributed_fraction:.1%})"
-        ]
-        breakdown = rep.breakdown()
-        width = max(len(k) for k in CAUSE_KINDS)
-        for kind in CAUSE_KINDS:
-            count = breakdown[kind]
-            if not count:
-                continue
-            share = count / rep.total if rep.total else 0.0
-            bar = "#" * max(1, round(share * 40))
-            lines.append(f"  {kind:<{width}s} {count:>6d}  {share:6.1%}  {bar}")
-        if rep.total == 0:
-            lines.append("  (no aborts)")
-        return lines
-
-    def _render_cascades(self) -> List[str]:
-        cascades = self.attribution.cascades
-        if not cascades:
-            return ["abort cascades: none"]
-        lines = [
-            f"abort cascades: {len(cascades)} "
-            f"(largest {cascades[0].size} attempts)"
-        ]
-        for i, c in enumerate(cascades[:TOP_CASCADES], 1):
-            root = f"T{c.root[0]}#{c.root[1]}"
-            members = " ".join(
-                f"T{core}#{epoch}" for core, epoch in c.members if
-                (core, epoch) != c.root
-            )
-            lines.append(
-                f"  #{i} root={root} size={c.size} depth={c.depth}"
-                + (f"  victims: {members}" if members else "")
-            )
-        if len(cascades) > TOP_CASCADES:
-            lines.append(f"  ... and {len(cascades) - TOP_CASCADES} more")
-        return lines
-
-    def _render_chains(self) -> List[str]:
-        stats = self.attribution.chain_stats()
-        if not stats["chains"]:
-            return ["forwarding chains: none"]
-        hist = "  ".join(
-            f"depth {d}: {n}" for d, n in stats["depth_histogram"].items()
-        )
-        return [
-            f"forwarding chains: {stats['chains']} chains, "
-            f"{stats['forwards']} forwards, max depth {stats['max_depth']}, "
-            f"mean depth {stats['mean_depth']:.2f}",
-            f"  {hist}",
-        ]
-
-    def _render_wasted(self) -> List[str]:
-        glyphs = "  ".join(
-            f"{_BUCKET_GLYPHS[b]}={b}" for b in WASTED_WORK_BUCKETS
-        )
-        lines = [f"wasted work (cycles per core; {glyphs})"]
-        for core, buckets in sorted(self.wasted.per_core.items()):
-            total = sum(buckets.values()) or 1
-            bar = ""
-            for bucket in WASTED_WORK_BUCKETS:
-                bar += _BUCKET_GLYPHS[bucket] * round(
-                    buckets[bucket] / total * 40
-                )
-            cells = "  ".join(
-                f"{bucket}={buckets[bucket]:,}" for bucket in WASTED_WORK_BUCKETS
-            )
-            lines.append(f"  core {core:<3d} |{bar:<40s}| {cells}")
-        totals = self.wasted.totals()
-        cells = "  ".join(
-            f"{bucket}={totals[bucket]:,}" for bucket in WASTED_WORK_BUCKETS
-        )
-        lines.append(f"  total    {cells}")
-        return lines
+        Delegates to :func:`render_document` over :meth:`to_dict`, so a
+        live report and a store-cached document render identically by
+        construction.
+        """
+        return render_document(self.to_dict())
 
     # ------------------------------------------------------------------
     def to_html(self) -> str:
@@ -263,6 +166,156 @@ max depth {chain['max_depth']}, mean depth {chain['mean_depth']:.2f}</p>
 {wasted_rows}</table>
 </body></html>
 """
+
+
+# ----------------------------------------------------------------------
+def render_document(doc: Dict[str, object]) -> str:
+    """Aligned terminal rendering of a :meth:`ForensicReport.to_dict`
+    document.
+
+    Operates on the persisted JSON form so ``repro inspect`` can serve a
+    store-cached report without re-simulating; :meth:`ForensicReport.render`
+    delegates here.
+    """
+    att = doc["attribution"]
+    wasted = doc["wasted_work"]
+    title = (
+        f"Forensics — {doc['workload']}/{doc['system']} "
+        f"(threads={doc['threads']} seed={doc['seed']} "
+        f"scale={doc['scale']})"
+    )
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"cycles={doc['cycles']:,}  attempts={doc['attempts']}  "
+        f"commits={doc['commits']} (+{doc['fallback_commits']} fallback)  "
+        f"aborts={doc['aborts']}  forwards={doc['forwards']}"
+    )
+    lines.append("")
+    lines.extend(_render_attribution(att))
+    lines.append("")
+    lines.extend(_render_cascades(att["cascades"]))
+    lines.append("")
+    lines.extend(_render_chains(att["chains"]))
+    lines.append("")
+    lines.extend(_render_wasted(wasted))
+    if doc["gauge_mismatches"]:
+        lines.append("")
+        lines.append(
+            "WARNING: ledger buckets disagree with the simulator's "
+            f"cycle gauges: {doc['gauge_mismatches']}"
+        )
+    return "\n".join(lines)
+
+
+def _render_attribution(att: Dict[str, object]) -> List[str]:
+    total = att["total_aborts"]
+    lines = [
+        f"abort attribution ({att['attributed']}/{total} attributed, "
+        f"{att['attributed_fraction']:.1%})"
+    ]
+    breakdown = att["breakdown"]
+    width = max(len(k) for k in CAUSE_KINDS)
+    for kind in CAUSE_KINDS:
+        count = breakdown.get(kind, 0)
+        if not count:
+            continue
+        share = count / total if total else 0.0
+        bar = "#" * max(1, round(share * 40))
+        lines.append(f"  {kind:<{width}s} {count:>6d}  {share:6.1%}  {bar}")
+    if total == 0:
+        lines.append("  (no aborts)")
+    return lines
+
+
+def _render_cascades(cascades: List[Dict[str, object]]) -> List[str]:
+    if not cascades:
+        return ["abort cascades: none"]
+    lines = [
+        f"abort cascades: {len(cascades)} "
+        f"(largest {cascades[0]['size']} attempts)"
+    ]
+    for i, c in enumerate(cascades[:TOP_CASCADES], 1):
+        root = f"T{c['root'][0]}#{c['root'][1]}"
+        members = " ".join(
+            f"T{core}#{epoch}" for core, epoch in c["members"]
+            if [core, epoch] != list(c["root"])
+        )
+        lines.append(
+            f"  #{i} root={root} size={c['size']} depth={c['depth']}"
+            + (f"  victims: {members}" if members else "")
+        )
+    if len(cascades) > TOP_CASCADES:
+        lines.append(f"  ... and {len(cascades) - TOP_CASCADES} more")
+    return lines
+
+
+def _render_chains(stats: Dict[str, object]) -> List[str]:
+    if not stats["chains"]:
+        return ["forwarding chains: none"]
+    hist = "  ".join(
+        f"depth {d}: {n}" for d, n in stats["depth_histogram"].items()
+    )
+    return [
+        f"forwarding chains: {stats['chains']} chains, "
+        f"{stats['forwards']} forwards, max depth {stats['max_depth']}, "
+        f"mean depth {stats['mean_depth']:.2f}",
+        f"  {hist}",
+    ]
+
+
+def _render_wasted(wasted: Dict[str, object]) -> List[str]:
+    glyphs = "  ".join(
+        f"{_BUCKET_GLYPHS[b]}={b}" for b in WASTED_WORK_BUCKETS
+    )
+    lines = [f"wasted work (cycles per core; {glyphs})"]
+    per_core = wasted["per_core"]
+    for core_key in sorted(per_core, key=int):
+        buckets = per_core[core_key]
+        total = sum(buckets.values()) or 1
+        bar = ""
+        for bucket in WASTED_WORK_BUCKETS:
+            bar += _BUCKET_GLYPHS[bucket] * round(
+                buckets[bucket] / total * 40
+            )
+        cells = "  ".join(
+            f"{bucket}={buckets[bucket]:,}" for bucket in WASTED_WORK_BUCKETS
+        )
+        lines.append(f"  core {int(core_key):<3d} |{bar:<40s}| {cells}")
+    totals = wasted["totals"]
+    cells = "  ".join(
+        f"{bucket}={totals[bucket]:,}" for bucket in WASTED_WORK_BUCKETS
+    )
+    lines.append(f"  total    {cells}")
+    return lines
+
+
+def forensics_store_key(
+    workload: str, system: str, *, threads: int, seed: int, scale: float
+) -> str:
+    """Store key for a cached forensics document.
+
+    Hashes the report parameters together with :data:`FORENSICS_SCHEMA`
+    and the runner's code fingerprint, so source edits and schema bumps
+    invalidate cached documents exactly like simulation results.
+    """
+    import hashlib
+    import json
+
+    from ..experiments import runner
+
+    blob = json.dumps(
+        {
+            "schema": FORENSICS_SCHEMA,
+            "fingerprint": runner._code_fingerprint(),
+            "workload": workload,
+            "system": system,
+            "threads": threads,
+            "seed": seed,
+            "scale": scale,
+        },
+        sort_keys=True,
+    )
+    return "forensics/" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

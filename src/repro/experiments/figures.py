@@ -543,12 +543,92 @@ FIGURES = {
 }
 
 
-def run_figure(figure_id: str, **kwargs) -> FigureResult:
-    """Run one figure by id (``fig1`` ... ``fig11``)."""
+#: Schema tag of figure documents persisted through the result store.
+FIGURE_DOC_SCHEMA = "repro-figure/1"
+
+
+def _figure_doc_key(figure_id: str, kwargs: Dict[str, object]) -> str:
+    """Store key for a cached figure document.
+
+    Covers the code fingerprint plus every runner knob that shapes the
+    sweep (threads/seed/scale) and the call kwargs, so any change that
+    would alter the figure invalidates the document.
+    """
+    import hashlib
+    import json
+
+    from . import runner
+
+    blob = json.dumps(
+        {
+            "schema": FIGURE_DOC_SCHEMA,
+            "fingerprint": runner._code_fingerprint(),
+            "figure": figure_id,
+            "threads": runner.bench_threads(),
+            "seed": runner.bench_seed(),
+            "scale": runner.bench_scale(),
+            "kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+        },
+        sort_keys=True,
+        default=list,
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return f"figure/{figure_id}/{digest}"
+
+
+def run_figure(
+    figure_id: str, *, use_store: bool = True, **kwargs
+) -> FigureResult:
+    """Run one figure by id (``fig1`` ... ``fig11``).
+
+    When the disk cache is enabled the assembled figure document
+    (series + rendering, not the raw runs) is persisted through the
+    result store under ``figure/<id>/<sha256>``; a later call with the
+    same code fingerprint and parameters is served from the store
+    without touching the simulator.  Store hits return an empty
+    ``extra`` dict — raw :class:`SimulationResult` objects are not
+    serialised.  Pass ``use_store=False`` to force assembly.
+    """
     try:
         fn = FIGURES[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {figure_id!r}; known: {sorted(FIGURES)}"
         ) from None
-    return fn(**kwargs)
+
+    from . import runner
+
+    cache = use_store and runner.disk_cache_enabled()
+    key = _figure_doc_key(figure_id, kwargs) if cache else None
+    if cache:
+        doc = runner.result_store().get_json(key)
+        if doc is not None:
+            try:
+                return FigureResult(
+                    experiment_id=doc["experiment_id"],
+                    title=doc["title"],
+                    series=doc["series"],
+                    extra={},
+                    rendering=doc["rendering"],
+                )
+            except (KeyError, TypeError):
+                runner.result_store().note_corrupt(
+                    key, "figure document schema mismatch"
+                )
+
+    result = fn(**kwargs)
+    if cache:
+        try:
+            runner.result_store().put_json(
+                key,
+                {
+                    "schema": FIGURE_DOC_SCHEMA,
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "series": result.series,
+                    "rendering": result.rendering,
+                },
+            )
+        except OSError:
+            pass
+    return result

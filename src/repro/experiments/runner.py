@@ -6,9 +6,15 @@ cached at two levels:
 
 * an in-process dictionary keyed by the *complete* run configuration
   (:class:`RunConfig`), and
-* a persistent on-disk cache of JSON files under ``.repro_cache/``
-  (override with ``REPRO_CACHE_DIR``), so a figure sweep re-run in a new
-  process costs zero simulations.
+* a persistent on-disk **result store** (:mod:`repro.store`) under
+  ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``), so a figure
+  sweep re-run in a new process costs zero simulations.  The backend is
+  selected by ``REPRO_STORE``/``--store``: the sharded segment store by
+  default, the legacy one-JSON-per-result layout for pre-store caches.
+  Concurrent ``run_many`` processes sharing one cache directory
+  deduplicate *across processes* through store claims: each miss is
+  claimed before execution, and a key some live peer already claimed is
+  awaited instead of recomputed.
 
 Cache keys are content-addressed: a SHA-256 over every field that can
 change a simulation's outcome — workload, system, the full
@@ -32,6 +38,8 @@ Environment knobs:
 * ``REPRO_WORKERS`` — worker processes for :func:`run_many` (default 1).
 * ``REPRO_CACHE_DIR`` — disk cache location (default ``.repro_cache``).
 * ``REPRO_NO_CACHE`` — set to ``1`` to disable the disk cache.
+* ``REPRO_STORE`` — result-store backend: ``sharded``, ``legacy``, or
+  ``auto`` (the default; see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .. import accel
+from .. import store as store_pkg
 from ..obs import telemetry as fleet
 from ..sim.config import HTMConfig, table2_config
 from ..systems.spec import SystemSpec, get_spec
@@ -398,36 +407,51 @@ def cache_size() -> int:
 
 
 # ----------------------------------------------------------------------
-# Disk cache.
+# Disk cache: everything persistent goes through the result store
+# (``repro.store``) — legacy flat-JSON or sharded segments, selected by
+# ``REPRO_STORE``/``--store`` with ``auto`` keeping old caches hitting.
 # ----------------------------------------------------------------------
-def _disk_path(key: str) -> Path:
-    return cache_dir() / f"{key}.json"
+def result_key(key: str) -> str:
+    """Store key for one simulation result (``result/<sha256>``)."""
+    return f"result/{key}"
 
 
-def _disk_load(cfg: RunConfig) -> Optional[SimulationResult]:
+def result_store() -> "store_pkg.ResultStore":
+    """The shared store instance over the current cache directory."""
+    return store_pkg.store_for(cache_dir())
+
+
+def _disk_load(
+    cfg: RunConfig, key: Optional[str] = None
+) -> Optional[SimulationResult]:
+    key = key if key is not None else cfg.key()
+    store = result_store()
+    payload = store.get_json(result_key(key))
+    if payload is None:
+        return None  # missing or byte-corrupt (store already counted it)
     try:
-        payload = json.loads(_disk_path(cfg.key()).read_text("utf-8"))
         return SimulationResult.from_dict(payload["result"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return None  # missing or corrupt entry: treat as a miss
+    except (KeyError, TypeError, ValueError) as exc:
+        # Valid JSON that no longer matches the result schema: same
+        # warn-once miss policy as byte-level corruption.
+        store.note_corrupt(result_key(key), f"result schema mismatch: {exc}")
+        return None
+
+
+def _result_payload(cfg: RunConfig, result: SimulationResult) -> bytes:
+    return json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": cfg.to_dict(),
+            "result": result.to_dict(),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
 
 
 def _disk_store(cfg: RunConfig, result: SimulationResult) -> None:
-    path = _disk_path(cfg.key())
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {
-                "schema": SCHEMA_VERSION,
-                "config": cfg.to_dict(),
-                "result": result.to_dict(),
-            },
-            sort_keys=True,
-        )
-        # Write-then-rename so concurrent readers never see a torn file.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(payload, "utf-8")
-        os.replace(tmp, path)
+        result_store().put(result_key(cfg.key()), _result_payload(cfg, result))
     except OSError:
         pass  # a read-only cache dir degrades to compute-only
 
@@ -672,6 +696,8 @@ def run_many(
         backend=manifest.backend,
     )
 
+    store = result_store() if disk_cache_enabled() else None
+
     results: Dict[str, SimulationResult] = {}
     misses: List[RunConfig] = []
     total = len(unique)
@@ -694,6 +720,7 @@ def run_many(
                     else "none"
                 ),
                 seconds=probe_seconds,
+                store=store.kind if store is not None else None,
             )
         if hit is not None:
             results[key] = hit
@@ -702,6 +729,47 @@ def run_many(
             _notify(progress, done, total, cfg, "cached")
         else:
             misses.append(cfg)
+
+    # Cross-process dedup: claim each miss so N ``run_many`` processes
+    # sharing one cache directory never simulate the same key twice.  A
+    # key a *live* peer already claimed goes to ``foreign`` — we wait
+    # for the peer's entry after our own work, overlapping the wait.
+    claims: Dict[str, store_pkg.Claim] = {}
+    foreign: List[RunConfig] = []
+    if use_cache and store is not None:
+        mine: List[RunConfig] = []
+        for cfg in misses:
+            key = cfg.key()
+            claim = store.claim(result_key(key))
+            if claim is None:
+                foreign.append(cfg)
+                continue
+            # Won the claim — but the previous holder may have stored
+            # the result between our probe and now.
+            hit = _disk_load(cfg, key)
+            if hit is not None:
+                COUNTERS.disk_hits += 1
+                _CACHE[key] = hit
+                results[key] = hit
+                done += 1
+                manifest.record(cfg, "cached", 0.0)
+                _notify(progress, done, total, cfg, "cached")
+                claim.release()
+                continue
+            claims[key] = claim
+            mine.append(cfg)
+        misses = mine
+
+    def _commit(cfg, key, result):
+        """Completion site for every execution path: persist the result
+        and release the key's claim so cross-process waiters unblock."""
+        if use_cache:
+            t0 = time.perf_counter()
+            _store(cfg, key, result)
+            batch.stored(cfg, key, time.perf_counter() - t0)
+        claim = claims.pop(key, None)
+        if claim is not None:
+            claim.release()
 
     def _record_lane(lane, outcomes, retried_lane):
         nonlocal done
@@ -714,70 +782,192 @@ def run_many(
                 cfg, "run", seconds, forensics=digest, resources=resources
             )
             batch.finished(cfg, cfg.key(), resources, retried=retried_lane)
+            _commit(cfg, cfg.key(), result)
             _notify(progress, done, total, cfg, "run")
 
-    if manifest.backend == "lanes" and len(misses) > 1:
-        # Lane executor: seed-sibling configs share one task each,
-        # amortizing dispatch/pickling overhead across the lane.  A lane
-        # failure retries its members serially (retry-once per config).
-        # With one worker (or a single lane) the lanes run in-process —
-        # batching semantics and lane statistics stay identical either
-        # way, only the dispatch differs.
-        from ..accel import lanes as lanes_mod
+    try:
+        if manifest.backend == "lanes" and len(misses) > 1:
+            # Lane executor: seed-sibling configs share one task each,
+            # amortizing dispatch/pickling overhead across the lane.  A lane
+            # failure retries its members serially (retry-once per config).
+            # With one worker (or a single lane) the lanes run in-process —
+            # batching semantics and lane statistics stay identical either
+            # way, only the dispatch differs.
+            from ..accel import lanes as lanes_mod
 
-        lanes = lanes_mod.group_into_lanes(misses)
-        if workers <= 1 or len(lanes) <= 1:
-            for lane in lanes:
-                for cfg in lane:
-                    batch.submitted(cfg, cfg.key())
-                try:
-                    outcomes = lanes_mod.execute_lane(lane, forensics)
-                except Exception as exc:
-                    outcomes = []
-                    for cfg in lane:
-                        batch.failed(cfg, cfg.key(), exc)
-                        outcomes.append(_retry_serial(cfg, exc, exec_timed))
-                    retried_lane = True
-                else:
-                    retried_lane = False
-                _record_lane(lane, outcomes, retried_lane)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(lanes))
-            ) as pool:
-                lane_futures = {}
+            lanes = lanes_mod.group_into_lanes(misses)
+            if workers <= 1 or len(lanes) <= 1:
                 for lane in lanes:
                     for cfg in lane:
                         batch.submitted(cfg, cfg.key())
-                    lane_futures[
-                        pool.submit(lanes_mod.execute_lane, lane, forensics)
-                    ] = lane
-                pending = set(lane_futures)
-                while pending:
-                    finished, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
+                    try:
+                        outcomes = lanes_mod.execute_lane(lane, forensics)
+                    except Exception as exc:
+                        outcomes = []
+                        for cfg in lane:
+                            batch.failed(cfg, cfg.key(), exc)
+                            outcomes.append(_retry_serial(cfg, exc, exec_timed))
+                        retried_lane = True
+                    else:
+                        retried_lane = False
+                    _record_lane(lane, outcomes, retried_lane)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(lanes))
+                ) as pool:
+                    lane_futures = {}
+                    for lane in lanes:
+                        for cfg in lane:
+                            batch.submitted(cfg, cfg.key())
+                        lane_futures[
+                            pool.submit(lanes_mod.execute_lane, lane, forensics)
+                        ] = lane
+                    pending = set(lane_futures)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for fut in finished:
+                            lane = lane_futures.pop(fut)
+                            try:
+                                outcomes = fut.result()
+                            except Exception as exc:
+                                # Includes a BrokenProcessPool: every
+                                # remaining lane future then fails the same
+                                # way and its members finish serially here.
+                                outcomes = []
+                                for cfg in lane:
+                                    batch.failed(cfg, cfg.key(), exc)
+                                    outcomes.append(
+                                        _retry_serial(cfg, exc, exec_timed)
+                                    )
+                                retried_lane = True
+                            else:
+                                retried_lane = False
+                            _record_lane(lane, outcomes, retried_lane)
+        elif workers <= 1 or len(misses) <= 1:
+            for cfg in misses:
+                key = cfg.key()
+                batch.submitted(cfg, key)
+                retried_once = False
+                try:
+                    result, seconds, digest, resources = exec_timed(cfg)
+                except Exception as exc:
+                    batch.failed(cfg, key, exc)
+                    retried_once = True
+                    result, seconds, digest, resources = _retry_serial(
+                        cfg, exc, exec_timed
                     )
-                    for fut in finished:
-                        lane = lane_futures.pop(fut)
-                        try:
-                            outcomes = fut.result()
-                        except Exception as exc:
-                            # Includes a BrokenProcessPool: every
-                            # remaining lane future then fails the same
-                            # way and its members finish serially here.
-                            outcomes = []
-                            for cfg in lane:
+                COUNTERS.simulations += 1
+                results[key] = result
+                done += 1
+                manifest.record(
+                    cfg, "run", seconds, forensics=digest, resources=resources
+                )
+                batch.finished(cfg, key, resources, retried=retried_once)
+                _commit(cfg, key, result)
+                _notify(progress, done, total, cfg, "run")
+        elif misses:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(misses))
+                ) as pool:
+                    futures = {}
+                    for cfg in misses:
+                        batch.submitted(cfg, cfg.key())
+                        futures[pool.submit(exec_timed, cfg)] = cfg
+                    retried: set = set()
+                    pending = set(futures)
+                    while pending:
+                        finished, pending = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for fut in finished:
+                            cfg = futures.pop(fut)
+                            try:
+                                result, seconds, digest, resources = fut.result()
+                            except BrokenProcessPool:
+                                raise  # pool is gone: fall back to serial below
+                            except Exception as exc:
                                 batch.failed(cfg, cfg.key(), exc)
-                                outcomes.append(
-                                    _retry_serial(cfg, exc, exec_timed)
-                                )
-                            retried_lane = True
-                        else:
-                            retried_lane = False
-                        _record_lane(lane, outcomes, retried_lane)
-    elif workers <= 1 or len(misses) <= 1:
-        for cfg in misses:
+                                if cfg.key() in retried:
+                                    pool.shutdown(wait=False, cancel_futures=True)
+                                    raise RuntimeError(
+                                        "simulation failed twice for config "
+                                        f"[{cfg.describe()}]: {exc}"
+                                    ) from exc
+                                retried.add(cfg.key())
+                                retry = pool.submit(exec_timed, cfg)
+                                futures[retry] = cfg
+                                pending.add(retry)
+                                continue
+                            COUNTERS.simulations += 1
+                            results[cfg.key()] = result
+                            done += 1
+                            manifest.record(
+                                cfg,
+                                "run",
+                                seconds,
+                                forensics=digest,
+                                resources=resources,
+                            )
+                            batch.finished(
+                                cfg,
+                                cfg.key(),
+                                resources,
+                                retried=cfg.key() in retried,
+                            )
+                            _commit(cfg, cfg.key(), result)
+                            _notify(progress, done, total, cfg, "run")
+            except BrokenProcessPool as crash:
+                # A worker died hard (signal/OOM): finish the remainder
+                # serially, retrying each config at most once in total.
+                for cfg in misses:
+                    if cfg.key() in results:
+                        continue
+                    batch.failed(cfg, cfg.key(), crash)
+                    result, seconds, digest, resources = _retry_serial(
+                        cfg, crash, exec_timed
+                    )
+                    COUNTERS.simulations += 1
+                    results[cfg.key()] = result
+                    done += 1
+                    manifest.record(
+                        cfg, "run", seconds, forensics=digest, resources=resources
+                    )
+                    batch.finished(cfg, cfg.key(), resources, retried=True)
+                    _commit(cfg, cfg.key(), result)
+                    _notify(progress, done, total, cfg, "run")
+
+        # Configs a live peer process claimed: wait for its entry instead
+        # of recomputing (our own misses above overlapped the wait).  A
+        # peer that died — or released — without storing falls back to
+        # executing here.
+        for cfg in foreign:
             key = cfg.key()
+            t0 = time.perf_counter()
+            raw = store.wait_for(result_key(key))
+            hit = _disk_load(cfg, key) if raw is not None else None
+            if hit is not None:
+                COUNTERS.disk_hits += 1
+                _CACHE[key] = hit
+                results[key] = hit
+                done += 1
+                seconds = time.perf_counter() - t0
+                manifest.record(cfg, "cached", seconds)
+                batch.probe(
+                    cfg,
+                    key,
+                    outcome="hit",
+                    layer="disk",
+                    seconds=seconds,
+                    store=store.kind,
+                )
+                _notify(progress, done, total, cfg, "cached")
+                continue
+            claim = store.claim(result_key(key))
+            if claim is not None:
+                claims[key] = claim
             batch.submitted(cfg, key)
             retried_once = False
             try:
@@ -795,84 +985,15 @@ def run_many(
                 cfg, "run", seconds, forensics=digest, resources=resources
             )
             batch.finished(cfg, key, resources, retried=retried_once)
+            _commit(cfg, key, result)
             _notify(progress, done, total, cfg, "run")
-    elif misses:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(misses))
-            ) as pool:
-                futures = {}
-                for cfg in misses:
-                    batch.submitted(cfg, cfg.key())
-                    futures[pool.submit(exec_timed, cfg)] = cfg
-                retried: set = set()
-                pending = set(futures)
-                while pending:
-                    finished, pending = wait(
-                        pending, return_when=FIRST_COMPLETED
-                    )
-                    for fut in finished:
-                        cfg = futures.pop(fut)
-                        try:
-                            result, seconds, digest, resources = fut.result()
-                        except BrokenProcessPool:
-                            raise  # pool is gone: fall back to serial below
-                        except Exception as exc:
-                            batch.failed(cfg, cfg.key(), exc)
-                            if cfg.key() in retried:
-                                pool.shutdown(wait=False, cancel_futures=True)
-                                raise RuntimeError(
-                                    "simulation failed twice for config "
-                                    f"[{cfg.describe()}]: {exc}"
-                                ) from exc
-                            retried.add(cfg.key())
-                            retry = pool.submit(exec_timed, cfg)
-                            futures[retry] = cfg
-                            pending.add(retry)
-                            continue
-                        COUNTERS.simulations += 1
-                        results[cfg.key()] = result
-                        done += 1
-                        manifest.record(
-                            cfg,
-                            "run",
-                            seconds,
-                            forensics=digest,
-                            resources=resources,
-                        )
-                        batch.finished(
-                            cfg,
-                            cfg.key(),
-                            resources,
-                            retried=cfg.key() in retried,
-                        )
-                        _notify(progress, done, total, cfg, "run")
-        except BrokenProcessPool as crash:
-            # A worker died hard (signal/OOM): finish the remainder
-            # serially, retrying each config at most once in total.
-            for cfg in misses:
-                if cfg.key() in results:
-                    continue
-                batch.failed(cfg, cfg.key(), crash)
-                result, seconds, digest, resources = _retry_serial(
-                    cfg, crash, exec_timed
-                )
-                COUNTERS.simulations += 1
-                results[cfg.key()] = result
-                done += 1
-                manifest.record(
-                    cfg, "run", seconds, forensics=digest, resources=resources
-                )
-                batch.finished(cfg, cfg.key(), resources, retried=True)
-                _notify(progress, done, total, cfg, "run")
+    finally:
+        # A batch that raises (simulation failed twice) must not leave
+        # its claims behind: peers would block on them until the claim
+        # TTL or our process exit.
+        for claim in claims.values():
+            claim.release()
+        claims.clear()
 
-    if use_cache:
-        for cfg in misses:
-            t0 = time.perf_counter()
-            _store(cfg, cfg.key(), results[cfg.key()])
-            batch.stored(cfg, cfg.key(), time.perf_counter() - t0)
-    batch.close(
-        manifest.to_dict(),
-        (cache_dir() / "manifests") if disk_cache_enabled() else None,
-    )
+    batch.close(manifest.to_dict(), store)
     return [results[cfg.key()] for cfg in configs]

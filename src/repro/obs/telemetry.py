@@ -37,6 +37,7 @@ loops are untouched (asserted by ``tests/test_telemetry.py``).
 from __future__ import annotations
 
 import bisect
+import hashlib
 import json
 import math
 import os
@@ -232,12 +233,19 @@ class TelemetrySession:
 
     # -- manifest persistence -------------------------------------------
     def persist_manifest(
-        self, manifest_dict: Dict[str, object], directory: Path
-    ) -> Path:
-        """Write one batch's enriched manifest beside the result cache."""
+        self, manifest_dict: Dict[str, object], store
+    ) -> str:
+        """Persist one batch's enriched manifest into the result store.
+
+        The entry name carries a content hash instead of the old
+        per-session sequence number, so concurrent sessions (or two
+        batches racing inside one session) can never overwrite each
+        other's manifest — identical payloads collapse to one entry,
+        distinct payloads always get distinct keys.  The sequence
+        number still appears *inside* the payload (and therefore in the
+        hash), ordering a session's manifests on read-back.  Returns
+        the store key."""
         self._manifests += 1
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"MANIFEST_{self.run_id}_{self._manifests:03d}.json"
         payload = {
             "schema": MANIFEST_SCHEMA,
             "run_id": self.run_id,
@@ -245,10 +253,11 @@ class TelemetrySession:
             "created_unix": int(time.time()),
             **manifest_dict,
         }
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8"
-        )
-        return path
+        body = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()[:12]
+        key = f"manifest/MANIFEST_{self.run_id}_{digest}"
+        store.put(key, body.encode("utf-8"))
+        return key
 
     # -- export ----------------------------------------------------------
     def jsonl_lines(self) -> Iterator[str]:
@@ -426,7 +435,7 @@ class NullBatch:
         pass
 
     def probe(self, cfg, key: str, *, outcome: str, layer: str,
-              seconds: float) -> None:
+              seconds: float, store: Optional[str] = None) -> None:
         pass
 
     def submitted(self, cfg, key: str) -> None:
@@ -442,7 +451,7 @@ class NullBatch:
     def stored(self, cfg, key: str, seconds: float) -> None:
         pass
 
-    def close(self, manifest_dict, manifests_dir: Optional[Path]) -> None:
+    def close(self, manifest_dict, store=None) -> None:
         pass
 
 
@@ -478,17 +487,24 @@ class RunBatch(NullBatch):
         ).set(unique)
 
     def probe(self, cfg, key: str, *, outcome: str, layer: str,
-              seconds: float) -> None:
+              seconds: float, store: Optional[str] = None) -> None:
         now = time.time()
+        attrs: Dict[str, object] = {
+            "config": cfg.describe(),
+            "key": key[:12],
+            "outcome": outcome,
+            "layer": layer,
+        }
+        if store is not None:
+            # Which store backend answered the disk layer (legacy |
+            # sharded) — attribution for probe-latency regressions.
+            attrs["store"] = store
         self._session.add(
             "cache-probe",
             now - seconds,
             now,
             parent=self._root,
-            config=cfg.describe(),
-            key=key[:12],
-            outcome=outcome,
-            layer=layer,
+            **attrs,
         )
         m = self._session.metrics
         m.counter(
@@ -597,16 +613,16 @@ class RunBatch(NullBatch):
             key=key[:12],
         )
 
-    def close(self, manifest_dict, manifests_dir: Optional[Path]) -> None:
+    def close(self, manifest_dict, store=None) -> None:
         if self._root is not None:
             self._session.finish(
                 self._root,
                 cached=manifest_dict.get("cached"),
                 run=manifest_dict.get("run"),
             )
-        if manifests_dir is not None:
+        if store is not None:
             try:
-                self._session.persist_manifest(manifest_dict, manifests_dir)
+                self._session.persist_manifest(manifest_dict, store)
             except OSError:
                 pass  # read-only cache dir: telemetry stays in memory
 

@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import store as store_pkg
 from repro.experiments import runner
 from repro.experiments.figures import fig1
 from repro.experiments.registry import experiment_configs
@@ -31,9 +32,11 @@ def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(runner, "_cache_dir_override", None)
     monkeypatch.setattr(runner, "_disk_cache_override", None)
     monkeypatch.setattr(runner, "_default_progress", None)
+    store_pkg.drop_cached_instances()
     clear_cache()
     counters().reset()
     yield
+    store_pkg.drop_cached_instances()
     clear_cache()
     counters().reset()
 
@@ -101,14 +104,26 @@ class TestDiskCache:
         assert counters().simulations == 2
         assert counters().disk_hits == 0
 
-    def test_corrupt_entry_is_a_miss(self):
-        cfg = RunConfig.make("counter", SystemKind.BASELINE, **FAST)
-        run_cached("counter", SystemKind.BASELINE, **FAST)
-        path = runner._disk_path(cfg.key())
-        path.write_text("{not json", "utf-8")
-        clear_cache()
-        run_cached("counter", SystemKind.BASELINE, **FAST)
-        assert counters().simulations == 2
+    @pytest.mark.parametrize("store_kind", ["legacy", "sharded"])
+    def test_corrupt_entry_is_a_miss(self, store_kind, recwarn):
+        """An unparsable store entry is a warn-once miss in *both*
+        backends — never an exception, never a stale result."""
+        with store_pkg.use(store_kind):
+            cfg = RunConfig.make("counter", SystemKind.BASELINE, **FAST)
+            run_cached("counter", SystemKind.BASELINE, **FAST)
+            store = runner.result_store()
+            assert store.kind == store_kind
+            # Overwrite the entry with bytes that are not JSON.
+            store.put(runner.result_key(cfg.key()), b"{not json")
+            clear_cache()
+            run_cached("counter", SystemKind.BASELINE, **FAST)
+            assert counters().simulations == 2
+            assert store.counters.corrupt == 1
+            assert any(
+                issubclass(w.category, RuntimeWarning)
+                and "cache miss" in str(w.message)
+                for w in recwarn.list
+            )
 
 
 SWEEP = [

@@ -1,0 +1,511 @@
+"""Tests for the pluggable result store (``repro.store``): backend
+round-trips, the legacy-layout mapping, selection/fallback semantics,
+corruption handling, compaction/eviction, the in-place migration, claims,
+and the N-process concurrent-writer guarantee."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro import store as store_pkg
+from repro.store import (
+    Claim,
+    LegacyJsonStore,
+    ShardedStore,
+    StoreInitError,
+    looks_like_legacy_cache,
+    migrate_cache,
+)
+from repro.store.base import STORE_SCHEMA
+from repro.store.migrate import MigrationError
+from repro.store.sharded import _shard_of
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture(autouse=True)
+def isolated_selection(monkeypatch):
+    """Neutral selection state and no shared instances between tests."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.setattr(store_pkg, "_selected", None)
+    monkeypatch.setattr(store_pkg, "_warned_fallback", False)
+    store_pkg.drop_cached_instances()
+    yield
+    store_pkg.drop_cached_instances()
+
+
+def make_store(kind: str, root: Path):
+    return LegacyJsonStore(root) if kind == "legacy" else ShardedStore(root)
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["legacy", "sharded"])
+class TestRoundTrip:
+    def test_put_get_bytes(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "ab" * 32, b"payload-bytes")
+        assert store.get("result/" + "ab" * 32) == b"payload-bytes"
+        assert store.counters.puts == 1
+        assert store.counters.hits == 1
+
+    def test_missing_key_is_counted_miss(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        assert store.get("result/" + "00" * 32) is None
+        assert store.counters.misses == 1
+
+    def test_peek_does_not_count(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("manifest/M1", b"x")
+        assert store.peek("manifest/M1") == b"x"
+        assert store.peek("manifest/M2") is None
+        assert store.counters.hits == 0
+        assert store.counters.misses == 0
+
+    def test_overwrite_returns_newest(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "cd" * 32, b"old")
+        store.put("result/" + "cd" * 32, b"new")
+        assert store.get("result/" + "cd" * 32) == b"new"
+        assert store.stats()["entries"] == 1
+
+    def test_json_round_trip(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        doc = {"schema": "x/1", "values": [1, 2.5, None], "nested": {"a": 1}}
+        store.put_json("forensics/" + "ee" * 32, doc)
+        assert store.get_json("forensics/" + "ee" * 32) == doc
+
+    def test_delete(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "0f" * 32, b"x")
+        assert store.delete("result/" + "0f" * 32) is True
+        assert store.delete("result/" + "0f" * 32) is False
+        assert store.get("result/" + "0f" * 32) is None
+
+    def test_keys_prefix(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "aa" * 32, b"1")
+        store.put("manifest/MANIFEST_r1_abc", b"2")
+        store.put("figure/fig4/" + "bb" * 32, b"3")
+        assert sorted(store.keys()) == sorted(
+            ["result/" + "aa" * 32, "manifest/MANIFEST_r1_abc",
+             "figure/fig4/" + "bb" * 32]
+        )
+        assert store.keys("manifest/") == ["manifest/MANIFEST_r1_abc"]
+
+    def test_unparsable_entry_is_warn_once_miss(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "11" * 32, b"{not json")
+        store.put("result/" + "22" * 32, b"also not }")
+        with pytest.warns(RuntimeWarning, match="cache miss"):
+            assert store.get_json("result/" + "11" * 32) is None
+        # Second corrupt read: counted, but silent.
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert store.get_json("result/" + "22" * 32) is None
+        assert store.counters.corrupt == 2
+
+    def test_stats_document_shape(self, kind, tmp_path):
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "aa" * 32, b'{"pad": "%s"}' % (b"x" * 100))
+        store.put("manifest/MANIFEST_r1_abc", b"{}")
+        doc = store.stats()
+        assert doc["schema"] == STORE_SCHEMA
+        assert doc["kind"] == kind
+        assert doc["entries"] == 2
+        assert doc["namespaces"] == {"result": 1, "manifest": 1}
+        assert doc["logical_bytes"] >= 101
+        assert store.verify() == []
+
+    def test_atomic_tmp_litter_ignored(self, kind, tmp_path):
+        """A writer killed mid-commit leaves only ``*.tmp`` litter, which
+        readers never parse and ``compact`` sweeps."""
+        store = make_store(kind, tmp_path)
+        store.put("result/" + "aa" * 32, b'{"good": true}')
+        # Litter where each backend actually writes its files.
+        litter_dir = tmp_path if kind == "legacy" else tmp_path / "store"
+        litter = litter_dir / "zz.json.tmp"
+        litter.write_bytes(b"half-written")
+        assert store.keys() == ["result/" + "aa" * 32]
+        assert store.verify() == []
+        summary = store.compact()
+        assert summary["tmp_files_swept"] == 1
+        assert not litter.exists()
+
+
+# ----------------------------------------------------------------------
+class TestLegacyLayout:
+    """The legacy backend must keep today's on-disk layout byte-for-byte
+    so pre-store caches stay hitting."""
+
+    def test_result_maps_to_top_level_json(self, tmp_path):
+        store = LegacyJsonStore(tmp_path)
+        sha = "de" * 32
+        store.put(f"result/{sha}", b'{"a": 1}')
+        assert (tmp_path / f"{sha}.json").read_bytes() == b'{"a": 1}'
+
+    def test_manifest_maps_to_manifests_dir(self, tmp_path):
+        store = LegacyJsonStore(tmp_path)
+        store.put("manifest/MANIFEST_run1_abc123", b"{}")
+        assert (tmp_path / "manifests" / "MANIFEST_run1_abc123.json").exists()
+
+    def test_looks_like_legacy_cache(self, tmp_path):
+        assert not looks_like_legacy_cache(tmp_path)
+        LegacyJsonStore(tmp_path).put("result/" + "aa" * 32, b"{}")
+        assert looks_like_legacy_cache(tmp_path)
+        ShardedStore(tmp_path)  # writes store/META.json
+        assert not looks_like_legacy_cache(tmp_path)
+
+
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_env_selection(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "legacy")
+        assert store_pkg.resolve_kind(tmp_path) == "legacy"
+        assert store_pkg.store_for(tmp_path).kind == "legacy"
+
+    def test_explicit_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "legacy")
+        with store_pkg.use("sharded"):
+            assert store_pkg.store_for(tmp_path).kind == "sharded"
+        assert store_pkg.resolve_kind(tmp_path) == "legacy"
+
+    def test_auto_prefers_sharded_on_fresh_dir(self, tmp_path):
+        assert store_pkg.resolve_kind(tmp_path / "fresh") == "sharded"
+
+    def test_auto_keeps_existing_legacy_cache(self, tmp_path):
+        LegacyJsonStore(tmp_path).put("result/" + "aa" * 32, b"{}")
+        assert store_pkg.resolve_kind(tmp_path) == "legacy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(store_pkg.UnknownStoreError):
+            store_pkg.select_store("flat")
+
+    def test_sharded_init_failure_falls_back_with_warning(self, tmp_path):
+        (tmp_path / "store").write_text("squatted")  # not a directory
+        with store_pkg.use("sharded"):
+            with pytest.warns(RuntimeWarning, match="legacy"):
+                store = store_pkg.open_store(tmp_path)
+        assert store.kind == "legacy"
+
+    def test_store_for_shares_instances(self, tmp_path):
+        a = store_pkg.store_for(tmp_path)
+        b = store_pkg.store_for(tmp_path)
+        assert a is b
+
+
+# ----------------------------------------------------------------------
+class TestShardedInternals:
+    def test_payloads_are_compressed_and_crc_guarded(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "ab" * 32
+        store.put(key, b"A" * 10_000)  # highly compressible
+        store.flush()
+        entry = store._load_index(_shard_of(key))["entries"][key]
+        assert entry["len"] < 10_000  # stored compressed
+        assert store.get(key) == b"A" * 10_000
+
+    def test_bit_flip_detected_as_corrupt_miss(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "ab" * 32
+        store.put(key, zlib.compress(b"x") * 50)  # incompressible-ish
+        store.flush()
+        shard = _shard_of(key)
+        entry = store._load_index(shard)["entries"][key]
+        seg = store._segment_path(shard, entry["seg"])
+        blob = bytearray(seg.read_bytes())
+        payload_off = entry["off"] + 20 + len(key.encode()) + 3
+        blob[payload_off] ^= 0xFF
+        seg.write_bytes(blob)
+        fresh = ShardedStore(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            assert fresh.get(key) is None
+        assert fresh.counters.corrupt == 1
+        assert fresh.verify() != []
+
+    def test_compact_reclaims_dead_records(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "ab" * 32
+        for i in range(20):
+            store.put(key, b'{"version": %d, "pad": "%s"}' % (i, b"." * 2000))
+        store.flush()
+        before = store.stats()
+        assert before["dead_bytes"] > 0
+        summary = store.compact()
+        assert summary["reclaimed_bytes"] > 0
+        assert store.get_json(key)["version"] == 19
+        assert store.stats()["dead_bytes"] == 0
+        assert store.verify() == []
+
+    def test_gc_evicts_lru_first(self, tmp_path):
+        import hashlib
+
+        store = ShardedStore(tmp_path)
+        keys = ["result/" + ("%02x" % i) * 32 for i in range(8)]
+        for i, key in enumerate(keys):
+            # Incompressible payloads so the byte budget bites.
+            payload = b"".join(
+                hashlib.sha256(key.encode() + bytes([j])).digest()
+                for j in range(16)
+            )
+            store.put(key, payload)
+        # Touch half the keys so they are most-recently-read.
+        kept = keys[4:]
+        for key in kept:
+            assert store.get(key) is not None
+        store.flush()
+        evicted = store.gc(4 * 560)
+        assert evicted
+        assert set(evicted) <= set(keys[:4])
+        for key in kept:
+            assert store.get(key) is not None
+        assert store.counters.evictions == len(evicted)
+
+    def test_rebuild_index_from_segments(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "ab" * 32
+        store.put(key, b"survives")
+        store.flush()
+        shard = _shard_of(key)
+        (store._shard_dir(shard) / "index.json").unlink()
+        fresh = ShardedStore(tmp_path)
+        assert fresh.rebuild_index(shard) == 1
+        assert fresh.get(key) == b"survives"
+
+    def test_foreign_layout_version_refused(self, tmp_path):
+        ShardedStore(tmp_path)
+        meta_path = tmp_path / "store" / "META.json"
+        meta = json.loads(meta_path.read_text("utf-8"))
+        meta["schema"] = "repro-store-layout/999"
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreInitError):
+            ShardedStore(tmp_path)
+
+
+# ----------------------------------------------------------------------
+class TestMigrate:
+    def _legacy_fixture(self, root: Path) -> dict:
+        legacy = LegacyJsonStore(root)
+        payloads = {
+            "result/" + "ab" * 32: json.dumps(
+                {"schema": 1, "result": {"cycles": 123}}, sort_keys=True
+            ).encode("utf-8"),
+            "result/" + "cd" * 32: b'{"schema": 1, "result": {}}',
+            "manifest/MANIFEST_r1_aaa111": b'{"schema": "m/1", "seq": 1}',
+            "forensics/" + "ef" * 32: b'{"schema": "repro-forensics/1"}',
+        }
+        for key, payload in payloads.items():
+            legacy.put(key, payload)
+        return payloads
+
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        payloads = self._legacy_fixture(tmp_path)
+        summary = migrate_cache(tmp_path)
+        assert summary["was_legacy_layout"] is True
+        assert summary["migrated"] == len(payloads)
+        assert summary["verified"] == len(payloads)
+        store = ShardedStore(tmp_path)
+        for key, payload in payloads.items():
+            assert store.get(key) == payload
+        # Legacy files removed; auto now resolves sharded.
+        assert not looks_like_legacy_cache(tmp_path)
+        assert store_pkg.resolve_kind(tmp_path) == "sharded"
+
+    def test_keep_legacy_preserves_source_files(self, tmp_path):
+        self._legacy_fixture(tmp_path)
+        summary = migrate_cache(tmp_path, keep_legacy=True)
+        assert summary["legacy_files_removed"] == 0
+        assert ("ab" * 32 + ".json") in {
+            p.name for p in tmp_path.iterdir() if p.is_file()
+        }
+
+    def test_idempotent_second_run(self, tmp_path):
+        self._legacy_fixture(tmp_path)
+        migrate_cache(tmp_path)
+        summary = migrate_cache(tmp_path)
+        assert summary["was_legacy_layout"] is False
+        assert summary["migrated"] == 0
+
+    def test_unreadable_legacy_entry_aborts_migration(self, tmp_path):
+        self._legacy_fixture(tmp_path)
+        sha = "ab" * 32
+        path = tmp_path / f"{sha}.json"
+        path.chmod(0o000)
+        if os.access(path, os.R_OK):  # running as root: chmod is a no-op
+            pytest.skip("cannot revoke read permission on this platform")
+        try:
+            with pytest.raises(MigrationError):
+                migrate_cache(tmp_path)
+            # Source files untouched: nothing was removed.
+            assert looks_like_legacy_cache(tmp_path)
+        finally:
+            path.chmod(0o644)
+
+
+# ----------------------------------------------------------------------
+class TestClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "aa" * 32
+        claim = store.claim(key)
+        assert claim is not None
+        assert store.claim(key) is None  # held (even by our own pid)
+        claim.release()
+        reclaim = store.claim(key)
+        assert reclaim is not None
+        reclaim.release()
+
+    def test_claimed_by_other_sees_live_foreign_pid(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "aa" * 32
+        claim = store.claim(key)
+        # Forge a foreign live owner (pid 1 is always alive).
+        claim.path.write_text(
+            json.dumps({"key": key, "pid": 1, "unix": __import__("time").time()})
+        )
+        assert store.claimed_by_other(key) is True
+        assert store.claim(key) is None
+        claim.release()
+        assert store.claimed_by_other(key) is False
+
+    def test_stale_dead_pid_claim_is_broken(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "bb" * 32
+        path = store._claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"key": key, "pid": 2 ** 22 + 12345,
+                                    "unix": __import__("time").time()}))
+        claim = store.claim(key)
+        assert claim is not None and claim.pid == os.getpid()
+        claim.release()
+
+    def test_wait_for_returns_stored_payload(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        key = "result/" + "cc" * 32
+        store.put(key, b"done")
+        assert store.wait_for(key, timeout=1.0) == b"done"
+
+    def test_wait_for_unclaimed_missing_key_returns_none(self, tmp_path):
+        store = ShardedStore(tmp_path)
+        assert store.wait_for("result/" + "dd" * 32, timeout=0.2) is None
+
+
+# ----------------------------------------------------------------------
+_RAW_WRITER = textwrap.dedent(
+    """
+    import sys
+    from repro.store import ShardedStore
+
+    root, worker = sys.argv[1], int(sys.argv[2])
+    store = ShardedStore(root)
+    # 20 private keys plus 10 shared keys every worker also writes.
+    for i in range(20):
+        key = "result/%02d%02d" % (worker, i) + "ef" * 30
+        store.put(key, b'{"worker": %d, "i": %d}' % (worker, i))
+    for i in range(10):
+        key = "result/ffff%02d" % i + "ab" * 29
+        store.put(key, b'{"shared": %d}' % i)
+    store.flush()
+    print("ok")
+    """
+)
+
+_RUNNER_WORKER = textwrap.dedent(
+    """
+    import json
+    import sys
+
+    from repro.experiments.runner import RunConfig, counters, run_many
+    from repro.sim.config import SystemKind
+
+    sweep = [
+        RunConfig.make(w, s, threads=2, scale=0.05)
+        for w in ("counter", "llb-l")
+        for s in (SystemKind.BASELINE, SystemKind.CHATS, SystemKind.PCHATS)
+    ]
+    results = run_many(sweep, workers=1)
+    print(json.dumps({
+        "simulations": counters().simulations,
+        "disk_hits": counters().disk_hits,
+        "cycles": [r.cycles for r in results],
+    }))
+    """
+)
+
+
+class TestConcurrentWriters:
+    """N >= 4 real processes against one store directory (acceptance)."""
+
+    N = 4
+
+    def _spawn(self, script: str, argv, env):
+        return subprocess.Popen(
+            [sys.executable, "-c", script, *argv],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _env(self, cache_dir: Path) -> dict:
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(SRC)
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        env["REPRO_STORE"] = "sharded"
+        env.pop("REPRO_NO_CACHE", None)
+        return env
+
+    def test_concurrent_raw_writers_never_corrupt(self, tmp_path):
+        env = self._env(tmp_path)
+        procs = [
+            self._spawn(_RAW_WRITER, [str(tmp_path), str(i)], env)
+            for i in range(self.N)
+        ]
+        for p in procs:
+            out, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err
+            assert out.strip() == "ok"
+        store = ShardedStore(tmp_path)
+        # 20 private keys per worker + 10 shared keys, no losses.
+        assert len(store.keys()) == self.N * 20 + 10
+        assert store.verify() == []
+        for i in range(10):
+            key = "result/ffff%02d" % i + "ab" * 29
+            assert store.get_json(key) == {"shared": i}
+
+    def test_concurrent_run_many_never_double_runs(self, tmp_path):
+        """Four processes race the same 6-cell sweep; the claim protocol
+        must hand each cell to exactly one process and every process
+        must converge on identical results."""
+        cache = tmp_path / "cache"
+        env = self._env(cache)
+        procs = [
+            self._spawn(_RUNNER_WORKER, [], env) for _ in range(self.N)
+        ]
+        reports = []
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err
+            reports.append(json.loads(out.strip().splitlines()[-1]))
+        total_sims = sum(r["simulations"] for r in reports)
+        assert total_sims == 6, reports  # each cell executed exactly once
+        # Every process saw the same bit-identical results.
+        assert len({tuple(r["cycles"]) for r in reports}) == 1
+        store = ShardedStore(cache)
+        assert len(store.keys("result/")) == 6
+        assert store.verify() == []
+        # No claims left behind.
+        claims = list((cache / "store" / "claims").glob("*.claim")) if (
+            cache / "store" / "claims"
+        ).is_dir() else []
+        assert claims == []

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import store as store_pkg
 from repro.experiments import runner
 from repro.experiments.runner import (
     RunConfig,
@@ -69,10 +70,12 @@ def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(runner, "_cache_dir_override", None)
     monkeypatch.setattr(runner, "_disk_cache_override", None)
     monkeypatch.setattr(runner, "_default_progress", None)
+    store_pkg.drop_cached_instances()
     clear_cache()
     counters().reset()
     yield
     fleet.uninstall()
+    store_pkg.drop_cached_instances()
     clear_cache()
     counters().reset()
 
@@ -315,15 +318,27 @@ class TestRunManyIntegration:
         assert rt["events"] > 0 and "peak_rss_kb" in rt
 
     def test_manifest_persisted_beside_cache(self, tmp_path):
+        with fleet.session_scope() as session:
+            run_many([_cfg()], workers=1)
+        store = runner.result_store()
+        keys = store.keys("manifest/")
+        assert len(keys) == 1
+        # Content-hash naming: the key carries the session's run id plus
+        # a digest of the payload, not a racy per-process sequence.
+        assert keys[0].startswith(f"manifest/MANIFEST_{session.run_id}_")
+        payload = store.get_json(keys[0])
+        assert payload["schema"] == fleet.MANIFEST_SCHEMA
+        assert payload["seq"] == 1
+        assert payload["entries"][0]["resources"]["events"] > 0
+
+    def test_manifest_names_cannot_collide(self, tmp_path):
+        """Two batches in one session — and identical batches in racing
+        sessions — never overwrite each other's manifest entry."""
         with fleet.session_scope():
             run_many([_cfg()], workers=1)
-        manifests = list(
-            (runner.cache_dir() / "manifests").glob("MANIFEST_*.json")
-        )
-        assert len(manifests) == 1
-        payload = json.loads(manifests[0].read_text())
-        assert payload["schema"] == fleet.MANIFEST_SCHEMA
-        assert payload["entries"][0]["resources"]["events"] > 0
+            run_many([_cfg(system="chats")], workers=1)
+        store = runner.result_store()
+        assert len(store.keys("manifest/")) == 2
 
     def test_cache_hit_probes_and_metrics(self):
         cfg = _cfg()
